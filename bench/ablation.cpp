@@ -1,0 +1,113 @@
+/// Ablation study of DPS's design decisions (the ones DESIGN.md calls
+/// out). Runs a representative set of contended pairs under DPS variants
+/// with individual mechanisms disabled and reports pair hmean gain and
+/// fairness per variant:
+///
+///   full          the paper's DPS
+///   no-kalman     raw measurements feed the priority module
+///   no-priority   stateless module + restore only
+///   no-restore    Algorithm 3 disabled (no idle snap-back to constant)
+///   equal-split   spare budget split equally instead of favouring
+///                 low-cap high-priority units
+///   hist-10/40    estimated power history halved / doubled
+///
+/// Expected: full DPS dominates or ties every ablation; no-priority
+/// collapses towards SLURM's starvation behaviour.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "experiments/registry.hpp"
+#include "metrics/metrics.hpp"
+#include "signal/rolling.hpp"
+#include "util/csv.hpp"
+#include "util/table.hpp"
+#include "workloads/npb_suite.hpp"
+#include "workloads/spark_suite.hpp"
+
+int main() {
+  using namespace dps;
+
+  struct Variant {
+    std::string name;
+    DpsConfig config;
+  };
+  std::vector<Variant> variants;
+  variants.push_back({"full", DpsConfig{}});
+  {
+    DpsConfig c;
+    c.use_kalman_filter = false;
+    variants.push_back({"no-kalman", c});
+  }
+  {
+    DpsConfig c;
+    c.use_kalman_filter = false;
+    c.ewma_alpha = 0.5;
+    variants.push_back({"ewma-0.5", c});
+  }
+  {
+    DpsConfig c;
+    c.use_priority_module = false;
+    variants.push_back({"no-priority", c});
+  }
+  {
+    DpsConfig c;
+    c.use_restore = false;
+    variants.push_back({"no-restore", c});
+  }
+  {
+    DpsConfig c;
+    c.favor_low_caps = false;
+    variants.push_back({"equal-split", c});
+  }
+  {
+    DpsConfig c;
+    c.history_length = 10;
+    variants.push_back({"hist-10", c});
+  }
+  {
+    DpsConfig c;
+    c.history_length = 40;
+    variants.push_back({"hist-40", c});
+  }
+
+  const std::vector<std::pair<std::string, std::string>> pairs = {
+      {"Kmeans", "GMM"}, {"LDA", "EP"}, {"LR", "GMM"}, {"Bayes", "CG"}};
+
+  std::printf(
+      "DPS ablation study over %zu contended pairs (pair hmean gain vs\n"
+      "constant allocation, and fairness; higher is better).\n\n",
+      pairs.size());
+
+  CsvWriter csv(dps::bench::out_dir() + "/ablation.csv");
+  csv.write_header({"variant", "pair", "pair_hmean", "fairness"});
+
+  Table table({"variant", "mean pair gain", "min pair gain", "mean fairness"});
+  for (const auto& variant : variants) {
+    ExperimentParams params = dps::bench::params_from_env();
+    params.dps = variant.config;
+    PairRunner runner(params);
+    std::vector<double> gains, fairs;
+    for (const auto& [a, b] : pairs) {
+      const auto outcome = runner.run_pair(
+          workload_by_name(a), workload_by_name(b), ManagerKind::kDps);
+      gains.push_back(outcome.pair_hmean);
+      fairs.push_back(outcome.fairness);
+      csv.write_row({variant.name, a + "+" + b,
+                     format_double(outcome.pair_hmean, 4),
+                     format_double(outcome.fairness, 4)});
+    }
+    table.add_row({variant.name,
+                   dps::bench::percent(harmonic_mean(gains)),
+                   dps::bench::percent(summarize(gains).min),
+                   format_double(summarize(fairs).mean, 3)});
+  }
+  table.print();
+
+  std::printf(
+      "\nExpected: 'full' >= every ablation; 'no-priority' loses the most\n"
+      "(it collapses to the stateless starvation behaviour).\n");
+  return 0;
+}

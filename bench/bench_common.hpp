@@ -1,0 +1,40 @@
+#pragma once
+
+/// Shared plumbing for the figure/table bench binaries. Every bench accepts
+/// the same environment knobs so quick runs and paper-scale runs share one
+/// binary:
+///   DPS_REPEATS  completed runs per workload per pair   (default 2;
+///                the paper uses >= 10)
+///   DPS_SEED     base seed for workload jitter           (default 42)
+///   DPS_OUT      directory for CSV dumps                 (default "bench_out")
+
+#include <filesystem>
+#include <string>
+
+#include "experiments/pair_runner.hpp"
+#include "util/env.hpp"
+
+namespace dps::bench {
+
+inline ExperimentParams params_from_env() {
+  ExperimentParams params;
+  params.repeats = static_cast<int>(env_int("DPS_REPEATS", 2));
+  params.seed = static_cast<std::uint64_t>(env_int("DPS_SEED", 42));
+  return params;
+}
+
+/// Creates (if needed) and returns the CSV output directory.
+inline std::string out_dir() {
+  const std::string dir = env_string("DPS_OUT", "bench_out");
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+inline std::string percent(double ratio, int precision = 1) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%+.*f%%", precision,
+                (ratio - 1.0) * 100.0);
+  return buf;
+}
+
+}  // namespace dps::bench

@@ -1,0 +1,73 @@
+/// Extension experiment (beyond the paper): how does a PShifter-style
+/// proportional feedback shifter — the feedback-control family the paper's
+/// Related Work positions itself against — compare with DPS and SLURM on
+/// the contended workload groups?
+///
+/// Expected shape: feedback beats the stateless SLURM plugin (it shifts
+/// slack smoothly every second) but trails DPS under contention, because
+/// it reacts only to instantaneous slack: it cannot tell a unit that is
+/// briefly idle from one that just entered a long low phase, and it cannot
+/// anticipate a rise the way DPS's power dynamics do.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "experiments/registry.hpp"
+#include "metrics/metrics.hpp"
+#include "signal/rolling.hpp"
+#include "util/csv.hpp"
+#include "util/table.hpp"
+#include "workloads/npb_suite.hpp"
+#include "workloads/spark_suite.hpp"
+
+int main() {
+  using namespace dps;
+  PairRunner runner(dps::bench::params_from_env());
+
+  const std::vector<std::pair<std::string, std::string>> pairs = {
+      {"Kmeans", "GMM"}, {"LDA", "EP"},  {"Linear", "GMM"}, {"LR", "CG"},
+      {"Bayes", "SP"},   {"RF", "GMM"},  {"GMM", "LU"},     {"LDA", "FT"},
+  };
+
+  std::printf(
+      "Extension: PShifter-style feedback shifter vs SLURM vs DPS on %zu\n"
+      "contended pairs (pair hmean gain vs constant, fairness).\n\n",
+      pairs.size());
+
+  CsvWriter csv(dps::bench::out_dir() + "/ext_feedback.csv");
+  csv.write_header({"pair", "manager", "pair_hmean", "fairness"});
+
+  Table table({"pair", "slurm", "feedback", "dps", "fair slurm",
+               "fair fb", "fair dps"});
+  std::vector<double> slurm_gains, feedback_gains, dps_gains;
+  for (const auto& [a_name, b_name] : pairs) {
+    const auto a = workload_by_name(a_name);
+    const auto b = workload_by_name(b_name);
+    double gain[3] = {0, 0, 0}, fair[3] = {0, 0, 0};
+    const ManagerKind kinds[3] = {ManagerKind::kSlurm, ManagerKind::kFeedback,
+                                  ManagerKind::kDps};
+    for (int k = 0; k < 3; ++k) {
+      const auto outcome = runner.run_pair(a, b, kinds[k]);
+      gain[k] = outcome.pair_hmean;
+      fair[k] = outcome.fairness;
+      csv.write_row({a_name + "+" + b_name, to_string(kinds[k]),
+                     format_double(outcome.pair_hmean, 4),
+                     format_double(outcome.fairness, 4)});
+    }
+    table.add_row({a_name + "+" + b_name, dps::bench::percent(gain[0]),
+                   dps::bench::percent(gain[1]), dps::bench::percent(gain[2]),
+                   format_double(fair[0], 3), format_double(fair[1], 3),
+                   format_double(fair[2], 3)});
+    slurm_gains.push_back(gain[0]);
+    feedback_gains.push_back(gain[1]);
+    dps_gains.push_back(gain[2]);
+  }
+  table.print();
+
+  std::printf("\nmean pair gain: slurm %s, feedback %s, dps %s\n",
+              dps::bench::percent(harmonic_mean(slurm_gains)).c_str(),
+              dps::bench::percent(harmonic_mean(feedback_gains)).c_str(),
+              dps::bench::percent(harmonic_mean(dps_gains)).c_str());
+  return 0;
+}

@@ -1,0 +1,131 @@
+/// Extension experiment: realistic job queues. Instead of the paper's
+/// fixed pairs, each cluster runs a rotating *mix* of jobs (cluster A: a
+/// Spark analytics queue, cluster B: an HPC batch queue), as a cloud
+/// scheduler would submit them. Over a fixed horizon, a manager that
+/// shifts power well completes more jobs.
+///
+/// Reports per manager: jobs completed on each cluster within the horizon
+/// and the mean latency per job class, normalized to constant allocation.
+
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/dps_manager.hpp"
+#include "experiments/registry.hpp"
+#include "managers/constant.hpp"
+#include "managers/slurm_stateless.hpp"
+#include "metrics/metrics.hpp"
+#include "sim/engine.hpp"
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace dps;
+
+struct MixResult {
+  std::size_t jobs_a = 0;
+  std::size_t jobs_b = 0;
+  // mean latency per rotation index
+  std::map<int, double> latency_a, latency_b;
+};
+
+MixResult run_mix(PowerManager& manager, Seconds horizon) {
+  GroupSpec spark_queue;
+  spark_queue.sockets = 10;
+  spark_queue.seed = 31;
+  spark_queue.rotation = {workload_by_name("Bayes"), workload_by_name("LR"),
+                          workload_by_name("RF"), workload_by_name("Sort")};
+  GroupSpec hpc_queue;
+  hpc_queue.sockets = 10;
+  hpc_queue.seed = 32;
+  hpc_queue.rotation = {workload_by_name("MG"), workload_by_name("IS"),
+                        workload_by_name("FT")};
+
+  Cluster cluster({spark_queue, hpc_queue});
+  SimulatedRapl rapl(cluster.total_units());
+  EngineConfig config;
+  config.total_budget = 110.0 * cluster.total_units();
+  config.target_completions = 1000000;  // horizon-bound, not count-bound
+  config.max_time = horizon;
+  const auto result = SimulationEngine(config).run(cluster, rapl, manager);
+
+  MixResult mix;
+  mix.jobs_a = result.completions[0].size();
+  mix.jobs_b = result.completions[1].size();
+  auto mean_latencies = [](const std::vector<Completion>& completions) {
+    std::map<int, std::vector<double>> by_index;
+    for (const auto& c : completions) {
+      by_index[c.workload_index].push_back(c.latency());
+    }
+    std::map<int, double> means;
+    for (const auto& [index, latencies] : by_index) {
+      means[index] = summarize(latencies).mean;
+    }
+    return means;
+  };
+  mix.latency_a = mean_latencies(result.completions[0]);
+  mix.latency_b = mean_latencies(result.completions[1]);
+  return mix;
+}
+
+}  // namespace
+
+int main() {
+  using namespace dps;
+  const Seconds horizon = 6000.0;
+
+  std::printf(
+      "Extension: rotating job queues over a %.0f s horizon.\n"
+      "Cluster A: Bayes->LR->RF->Sort (Spark mix); cluster B: MG->IS->FT "
+      "(HPC batch).\n\n",
+      horizon);
+
+  ConstantManager constant;
+  SlurmStatelessManager slurm;
+  DpsManager dps;
+
+  const MixResult base = run_mix(constant, horizon);
+  const MixResult slurm_result = run_mix(slurm, horizon);
+  const MixResult dps_result = run_mix(dps, horizon);
+
+  Table table({"manager", "spark jobs", "hpc jobs", "total",
+               "throughput gain"});
+  const auto total_base = base.jobs_a + base.jobs_b;
+  auto add = [&](const char* name, const MixResult& mix) {
+    const double gain = static_cast<double>(mix.jobs_a + mix.jobs_b) /
+                        static_cast<double>(total_base);
+    table.add_row({name, std::to_string(mix.jobs_a),
+                   std::to_string(mix.jobs_b),
+                   std::to_string(mix.jobs_a + mix.jobs_b),
+                   dps::bench::percent(gain)});
+  };
+  add("constant", base);
+  add("slurm", slurm_result);
+  add("dps", dps_result);
+  table.print();
+
+  CsvWriter csv(dps::bench::out_dir() + "/ext_job_mix.csv");
+  csv.write_header({"manager", "cluster", "workload_index", "mean_latency"});
+  auto dump = [&](const char* name, const MixResult& mix) {
+    for (const auto& [index, latency] : mix.latency_a) {
+      csv.write_row({name, "spark", std::to_string(index),
+                     format_double(latency, 2)});
+    }
+    for (const auto& [index, latency] : mix.latency_b) {
+      csv.write_row({name, "hpc", std::to_string(index),
+                     format_double(latency, 2)});
+    }
+  };
+  dump("constant", base);
+  dump("slurm", slurm_result);
+  dump("dps", dps_result);
+
+  std::printf(
+      "\nExpected: DPS completes at least as many jobs as constant and more\n"
+      "than SLURM — the queue's phase changes are exactly where stateless\n"
+      "management loses budget to whoever held it last.\n");
+  return 0;
+}

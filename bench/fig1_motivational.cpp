@@ -1,0 +1,143 @@
+/// Figure 1 — the motivational example: a two-node overprovisioned system
+/// over five coarse timesteps. Node 0's demand rises two timesteps before
+/// Node 1's; the budget covers both nodes at full power only if allocated
+/// perfectly. The figure's point: a stateless manager hands Node 0 the
+/// whole budget and starves Node 1 when it rises later; a perfect
+/// model-based system and DPS converge to the balanced split.
+///
+/// This bench replays that scenario against the real manager
+/// implementations and prints each manager's caps at every timestep.
+
+#include <algorithm>
+#include <array>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/dps_manager.hpp"
+#include "managers/constant.hpp"
+#include "managers/oracle.hpp"
+#include "managers/slurm_stateless.hpp"
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace dps;
+
+constexpr Watts kMaxPower = 160.0;
+constexpr Watts kLowPower = 40.0;
+constexpr int kTimesteps = 5;
+// Each schematic timestep is several decision-loop seconds so the managers
+// can actually react, as they would on hardware.
+constexpr int kSecondsPerTimestep = 12;
+
+/// Demand schedule of Figure 1: node 0 ramps up in T2, node 1 in T4.
+Watts demand_at(int node, int timestep) {
+  const int rise_at = node == 0 ? 1 : 3;
+  return timestep >= rise_at ? kMaxPower : kLowPower;
+}
+
+struct Row {
+  std::string manager;
+  std::vector<std::array<Watts, 2>> caps_per_timestep;
+};
+
+Row run_scenario(PowerManager& manager, Watts budget,
+                 std::vector<Watts>* demand_feed = nullptr) {
+  ManagerContext ctx;
+  ctx.num_units = 2;
+  ctx.total_budget = budget;
+  ctx.tdp = 165.0;
+  ctx.min_cap = 40.0;
+  manager.reset(ctx);
+
+  Row row;
+  row.manager = std::string(manager.name());
+  std::vector<Watts> caps(2, ctx.constant_cap());
+  for (int t = 0; t < kTimesteps; ++t) {
+    for (int s = 0; s < kSecondsPerTimestep; ++s) {
+      std::vector<Watts> power(2);
+      for (int node = 0; node < 2; ++node) {
+        power[node] = std::min(demand_at(node, t), caps[node]);
+        if (demand_feed) (*demand_feed)[node] = demand_at(node, t);
+      }
+      manager.decide(power, caps);
+    }
+    row.caps_per_timestep.push_back({caps[0], caps[1]});
+  }
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  using namespace dps;
+
+  // The paper's scenario: the budget covers one node at max power plus one
+  // at low power (2200/11-node flavour scaled to 2 nodes: 220 W here would
+  // be the constant split; the interesting regime is budget < 2*max).
+  const Watts budget = 220.0;
+
+  std::printf(
+      "Figure 1 reproduction: caps per timestep on a 2-node system,\n"
+      "budget %.0f W, node demands: node0 %g->%g W at T2, node1 at T4.\n\n",
+      budget, kLowPower, kMaxPower);
+
+  std::vector<Row> rows;
+
+  ConstantManager constant;
+  rows.push_back(run_scenario(constant, budget));
+
+  SlurmStatelessManager slurm;
+  rows.push_back(run_scenario(slurm, budget));
+
+  std::vector<Watts> oracle_demands(2, kLowPower);
+  OracleManager oracle(
+      [&](std::span<Watts> out) {
+        std::copy(oracle_demands.begin(), oracle_demands.end(), out.begin());
+      },
+      0.0);
+  rows.push_back(run_scenario(oracle, budget, &oracle_demands));
+
+  DpsManager dps;
+  rows.push_back(run_scenario(dps, budget));
+
+  Table table({"manager", "T1 n0/n1", "T2 n0/n1", "T3 n0/n1", "T4 n0/n1",
+               "T5 n0/n1"});
+  for (const auto& row : rows) {
+    std::vector<std::string> cells = {row.manager};
+    for (const auto& caps : row.caps_per_timestep) {
+      cells.push_back(format_double(caps[0], 0) + "/" +
+                      format_double(caps[1], 0));
+    }
+    table.add_row(cells);
+  }
+  table.print();
+
+  // The shape checks the paper's narrative hangs on.
+  const auto& slurm_caps = rows[1].caps_per_timestep.back();
+  const auto& dps_caps = rows[3].caps_per_timestep.back();
+  const auto& oracle_caps = rows[2].caps_per_timestep.back();
+  const double slurm_gap = std::abs(slurm_caps[0] - slurm_caps[1]);
+  const double dps_gap = std::abs(dps_caps[0] - dps_caps[1]);
+  std::printf(
+      "\nAt T5: stateless cap imbalance %.0f W (node 1 starved), "
+      "DPS imbalance %.0f W,\noracle imbalance %.0f W. DPS reaches the "
+      "balanced allocation a perfect\nmodel-based system would pick, from "
+      "power data alone: %s\n",
+      slurm_gap, dps_gap, std::abs(oracle_caps[0] - oracle_caps[1]),
+      (dps_gap < 15.0 && slurm_gap > 60.0) ? "REPRODUCED" : "NOT reproduced");
+
+  CsvWriter csv(dps::bench::out_dir() + "/fig1_motivational.csv");
+  csv.write_header({"manager", "timestep", "cap_node0", "cap_node1"});
+  for (const auto& row : rows) {
+    for (std::size_t t = 0; t < row.caps_per_timestep.size(); ++t) {
+      csv.write_row({row.manager, std::to_string(t + 1),
+                     format_double(row.caps_per_timestep[t][0], 1),
+                     format_double(row.caps_per_timestep[t][1], 1)});
+    }
+  }
+  return 0;
+}

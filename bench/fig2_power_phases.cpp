@@ -1,0 +1,69 @@
+/// Figure 2 — power phases of three Spark applications (LDA, Bayes, LR)
+/// executed without a power limit. Reproduces the figure's three
+/// observations: diverse phase durations (LDA's >100 s opening phase vs
+/// LR's <10 s bursts), diverse peak power per phase, and diverse first
+/// derivatives. Prints per-workload phase statistics and dumps the full
+/// 1 Hz traces to CSV for plotting.
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "managers/constant.hpp"
+#include "sim/engine.hpp"
+#include "signal/phase_stats.hpp"
+#include "workloads/spark_suite.hpp"
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace dps;
+  const auto out = dps::bench::out_dir();
+
+  std::printf(
+      "Figure 2 reproduction: uncapped power traces of LDA, Bayes, LR.\n"
+      "Phases = stretches above 110 W in the 1 Hz trace.\n\n");
+
+  Table table({"workload", "phases/run", "longest [s]", "shortest [s]",
+               "max peak [W]", "min peak [W]", "max dP/dt [W/s]"});
+
+  for (const std::string name : {"LDA", "Bayes", "LR"}) {
+    auto spec = spark_workload(name);
+    Cluster cluster({GroupSpec{spec, 10, 7}});
+    SimulatedRapl rapl(cluster.total_units());
+    EngineConfig config;
+    config.total_budget = 165.0 * cluster.total_units();  // never binds
+    config.target_completions = 1;
+    config.record_trace = true;
+    config.max_time = 4.0 * spec.nominal_duration();
+    ConstantManager constant;
+    const auto result =
+        SimulationEngine(config).run(cluster, rapl, constant);
+
+    const auto series = result.trace->true_power_of(0);
+    const auto stats = analyze_phases(series, 110.0);
+    table.add_row({name, std::to_string(stats.phase_count),
+                   format_double(stats.longest, 0),
+                   format_double(stats.shortest, 0),
+                   format_double(stats.max_peak, 0),
+                   format_double(stats.min_peak, 0),
+                   format_double(stats.max_rise_rate, 1)});
+
+    CsvWriter csv(out + "/fig2_" + name + ".csv");
+    csv.write_header({"time_s", "power_w"});
+    const auto& samples = result.trace->series(0);
+    for (const auto& s : samples) {
+      csv.write_row({format_double(s.time, 0), format_double(s.true_power, 1)});
+    }
+  }
+  table.print();
+
+  std::printf(
+      "\nPaper's observations to check: LDA has a phase >100 s; LR's phases\n"
+      "are <10 s; Bayes sits in between with diverse peaks; rise rates vary\n"
+      "by an order of magnitude. Traces in %s/fig2_*.csv.\n",
+      out.c_str());
+  return 0;
+}

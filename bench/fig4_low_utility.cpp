@@ -1,0 +1,87 @@
+/// Figure 4 — Spark low-utility group: every mid/high-power Spark workload
+/// co-runs with every low-power Spark workload (28 pairs) under SLURM, the
+/// oracle, and DPS. Reports each mid/high workload's harmonic-mean speedup
+/// over the constant-allocation baseline, aggregated across its four
+/// low-power partners.
+///
+/// Paper shapes to reproduce: demands rarely exceed the budget, so DPS and
+/// the oracle land 5-8 % above constant on average; SLURM matches them
+/// except on the high-frequency workloads (Linear, LR), where it can fall
+/// below constant; the largest gain is GMM's.
+
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "metrics/metrics.hpp"
+#include "signal/rolling.hpp"
+#include "util/csv.hpp"
+#include "util/table.hpp"
+#include "workloads/spark_suite.hpp"
+
+int main() {
+  using namespace dps;
+  PairRunner runner(dps::bench::params_from_env());
+
+  const auto primaries = spark_mid_high_names();
+  const auto partners = spark_low_names();
+  const std::vector<ManagerKind> managers = {
+      ManagerKind::kSlurm, ManagerKind::kOracle, ManagerKind::kDps};
+
+  std::printf(
+      "Figure 4 reproduction: Spark low-utility group, %zu x %zu = %zu "
+      "pairs,\nhmean speedup of the mid/high workload vs constant 110 W "
+      "(repeats=%d).\n\n",
+      primaries.size(), partners.size(), primaries.size() * partners.size(),
+      runner.params().repeats);
+
+  CsvWriter csv(dps::bench::out_dir() + "/fig4_low_utility.csv");
+  csv.write_header({"primary", "partner", "manager", "primary_speedup",
+                    "partner_speedup", "fairness"});
+
+  // manager -> primary -> speedups across its low-power partners.
+  std::map<std::string, std::map<std::string, std::vector<double>>> gains;
+  for (const auto& primary_name : primaries) {
+    const auto primary = spark_workload(primary_name);
+    for (const auto& partner_name : partners) {
+      const auto partner = spark_workload(partner_name);
+      for (const auto kind : managers) {
+        const auto outcome = runner.run_pair(primary, partner, kind);
+        gains[to_string(kind)][primary_name].push_back(outcome.a.speedup);
+        csv.write_row({primary_name, partner_name, to_string(kind),
+                       format_double(outcome.a.speedup, 4),
+                       format_double(outcome.b.speedup, 4),
+                       format_double(outcome.fairness, 4)});
+      }
+    }
+  }
+
+  Table table({"workload", "slurm", "oracle", "dps"});
+  std::map<std::string, std::vector<double>> per_manager_all;
+  for (const auto& primary_name : primaries) {
+    std::vector<std::string> row = {primary_name};
+    for (const char* manager : {"slurm", "oracle", "dps"}) {
+      const double h = harmonic_mean(gains[manager][primary_name]);
+      per_manager_all[manager].push_back(h);
+      row.push_back(dps::bench::percent(h));
+    }
+    table.add_row(row);
+  }
+  table.print();
+
+  std::printf("\nmean gain: slurm %s, oracle %s, dps %s\n",
+              dps::bench::percent(
+                  harmonic_mean(per_manager_all["slurm"])).c_str(),
+              dps::bench::percent(
+                  harmonic_mean(per_manager_all["oracle"])).c_str(),
+              dps::bench::percent(
+                  harmonic_mean(per_manager_all["dps"])).c_str());
+  const auto dps_summary = summarize(per_manager_all["dps"]);
+  std::printf("dps max single-workload gain: %s (paper: +17.6%% on GMM)\n",
+              dps::bench::percent(dps_summary.max).c_str());
+  std::printf(
+      "paper shapes: dps ~ oracle ~ +5..8%%; slurm matches except on the\n"
+      "high-frequency Linear/LR where it can dip below constant.\n");
+  return 0;
+}

@@ -1,0 +1,155 @@
+/// Section 6.5 — overhead analysis, as a google-benchmark binary:
+///   * pure controller cost: one decide() step of DPS / SLURM / oracle at
+///     10 .. 10,000 units (the paper argues the controller scales to tens
+///     of thousands of nodes with a sub-millisecond loop);
+///   * the Kalman filter and priority-module costs in isolation;
+///   * a full decision round over the real TCP loopback control plane with
+///     20 clients, counting the 3-bytes-per-request wire traffic.
+
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "core/dps_manager.hpp"
+#include "managers/oracle.hpp"
+#include "managers/slurm_stateless.hpp"
+#include "net/client.hpp"
+#include "net/server.hpp"
+#include "signal/kalman.hpp"
+#include "signal/peaks.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace dps;
+
+ManagerContext make_ctx(int units) {
+  ManagerContext ctx;
+  ctx.num_units = units;
+  ctx.total_budget = 110.0 * units;
+  ctx.tdp = 165.0;
+  ctx.min_cap = 40.0;
+  ctx.dt = 1.0;
+  return ctx;
+}
+
+/// Synthetic measured-power feed: a mix of steady, phased, and oscillating
+/// units, exercising every priority-module path.
+void fill_power(Rng& rng, int step, std::span<const Watts> caps,
+                std::span<Watts> power) {
+  for (std::size_t u = 0; u < power.size(); ++u) {
+    double demand;
+    switch (u % 3) {
+      case 0:
+        demand = 150.0;
+        break;
+      case 1:
+        demand = (step / 40 + static_cast<int>(u)) % 2 == 0 ? 150.0 : 55.0;
+        break;
+      default:
+        demand = (step / 3) % 2 == 0 ? 140.0 : 60.0;
+    }
+    power[u] = std::min(demand, caps[u]) * (1.0 + rng.normal(0.0, 0.02));
+  }
+}
+
+template <typename Manager>
+void run_decide_benchmark(benchmark::State& state, Manager& manager) {
+  const int units = static_cast<int>(state.range(0));
+  const auto ctx = make_ctx(units);
+  manager.reset(ctx);
+  std::vector<Watts> caps(units, ctx.constant_cap());
+  std::vector<Watts> power(units, 0.0);
+  Rng rng(1);
+  int step = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    fill_power(rng, step++, caps, power);
+    state.ResumeTiming();
+    manager.decide(power, caps);
+    benchmark::DoNotOptimize(caps.data());
+  }
+  state.SetItemsProcessed(state.iterations() * units);
+}
+
+void BM_DpsDecide(benchmark::State& state) {
+  DpsManager manager;
+  run_decide_benchmark(state, manager);
+}
+BENCHMARK(BM_DpsDecide)->Arg(10)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_SlurmDecide(benchmark::State& state) {
+  SlurmStatelessManager manager;
+  run_decide_benchmark(state, manager);
+}
+BENCHMARK(BM_SlurmDecide)->Arg(10)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_OracleDecide(benchmark::State& state) {
+  const int units = static_cast<int>(state.range(0));
+  std::vector<Watts> demands(units, 150.0);
+  OracleManager manager([&](std::span<Watts> out) {
+    std::copy(demands.begin(), demands.end(), out.begin());
+  });
+  run_decide_benchmark(state, manager);
+}
+BENCHMARK(BM_OracleDecide)->Arg(10)->Arg(1000);
+
+void BM_KalmanUpdate(benchmark::State& state) {
+  Kalman1D kf(4.0, 4.0, 100.0, 4.0);
+  Rng rng(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kf.update(100.0 + rng.normal(0.0, 2.0)));
+  }
+}
+BENCHMARK(BM_KalmanUpdate);
+
+void BM_ProminentPeaks(benchmark::State& state) {
+  // A 20-sample history with a few peaks, the per-unit per-step workload.
+  std::vector<double> history(20);
+  for (std::size_t i = 0; i < history.size(); ++i) {
+    history[i] = i % 4 < 2 ? 150.0 : 60.0;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(count_prominent_peaks(history, 20.0));
+  }
+}
+BENCHMARK(BM_ProminentPeaks);
+
+/// Full decision rounds over real loopback TCP with 20 clients — the
+/// paper's 10-node dual-socket deployment. Reports wire bytes per round
+/// (3 bytes per request per direction per unit).
+void BM_TcpControlRound(benchmark::State& state) {
+  constexpr int kUnits = 20;
+  ControlServer server(0, kUnits);
+  std::vector<std::thread> clients;
+  std::atomic<bool> stop{false};
+  clients.reserve(kUnits);
+  for (int u = 0; u < kUnits; ++u) {
+    clients.emplace_back([&server] {
+      Watts cap = 110.0;
+      NodeClient client([&cap] { return cap * 0.98; },
+                        [&cap](Watts c) { cap = c; });
+      client.connect(server.port());
+      client.run();
+    });
+  }
+  server.accept_all();
+
+  DpsManager manager;
+  const auto ctx = make_ctx(kUnits);
+  // run_rounds resets the manager; run one batch of rounds per iteration.
+  for (auto _ : state) {
+    server.run_rounds(manager, ctx, 1);
+  }
+  state.SetBytesProcessed(state.iterations() * kUnits * 2 * 3);
+  stop = true;
+  server.shutdown();
+  for (auto& t : clients) t.join();
+}
+BENCHMARK(BM_TcpControlRound)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

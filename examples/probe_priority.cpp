@@ -1,0 +1,73 @@
+// Developer probe: manual engine loop printing DPS priority internals for
+// one unit of each group.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/dps_manager.hpp"
+#include "managers/slurm_stateless.hpp"
+#include "experiments/registry.hpp"
+#include "power/rapl_sim.hpp"
+#include "sim/cluster.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dps;
+  const std::string name_a = argc > 1 ? argv[1] : "LDA";
+  const std::string name_b = argc > 2 ? argv[2] : "EP";
+  const double from = argc > 3 ? std::atof(argv[3]) : 150.0;
+  const double to = argc > 4 ? std::atof(argv[4]) : 260.0;
+
+  std::vector<GroupSpec> groups;
+  groups.push_back(GroupSpec{workload_by_name(name_a), 10, 1});
+  groups.push_back(GroupSpec{workload_by_name(name_b), 10, 2});
+  Cluster cluster(std::move(groups));
+  const int n = cluster.total_units();
+  SimulatedRapl rapl(n);
+
+  ManagerContext ctx;
+  ctx.num_units = n;
+  ctx.total_budget = 110.0 * n;
+  ctx.dt = 1.0;
+  DpsManager dps;
+  SlurmStatelessManager slurm;
+  const bool use_slurm = argc > 5 && std::string(argv[5]) == "slurm";
+  PowerManager& mgr = use_slurm ? static_cast<PowerManager&>(slurm) : dps;
+  mgr.reset(ctx);
+
+  std::vector<Watts> caps(n, 110.0), measured(n), truep(n);
+  for (int u = 0; u < n; ++u) rapl.set_cap(u, caps[u]);
+
+  for (int step = 0; step < (int)to; ++step) {
+    std::vector<Watts> eff(n);
+    for (int u = 0; u < n; ++u) eff[u] = rapl.effective_cap(u);
+    cluster.step(1.0, eff, truep);
+    for (int u = 0; u < n; ++u) rapl.record(u, truep[u], 1.0);
+    rapl.advance_step();
+    for (int u = 0; u < n; ++u) measured[u] = rapl.read_power(u);
+    mgr.decide(measured, caps);
+    for (int u = 0; u < n; ++u) rapl.set_cap(u, caps[u]);
+
+    if (cluster.now() >= from) {
+      int high_a = 0, high_b = 0;
+      double capsum_a = 0, capsum_b = 0;
+      for (int u = 0; u < 10; ++u) {
+        high_a += use_slurm ? 0 : dps.priorities().high_priority(u);
+        capsum_a += caps[u];
+      }
+      for (int u = 10; u < 20; ++u) {
+        high_b += use_slurm ? 0 : dps.priorities().high_priority(u);
+        capsum_b += caps[u];
+      }
+      std::printf(
+          "t=%5.0f | A u0: pwr=%5.1f cap=%5.1f pri=%d hf=%d | highA=%d "
+          "capA=%4.0f | B u10: pwr=%5.1f cap=%5.1f pri=%d | highB=%d "
+          "capB=%4.0f | restored=%d\n",
+          cluster.now(), measured[0], caps[0],
+          use_slurm ? 0 : (int)dps.priorities().high_priority(0),
+          use_slurm ? 0 : (int)dps.priorities().high_frequency(0), high_a, capsum_a,
+          measured[10], caps[10], use_slurm ? 0 : (int)dps.priorities().high_priority(10),
+          high_b, capsum_b, use_slurm ? 0 : (int)dps.last_step_restored());
+    }
+  }
+  return 0;
+}

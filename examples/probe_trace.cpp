@@ -1,0 +1,54 @@
+// Developer probe: trace a pair run and summarize where a workload's units
+// spend time starved (demand above 110 while cap well below 110).
+#include <cstdio>
+#include <string>
+
+#include "core/dps_manager.hpp"
+#include "managers/slurm_stateless.hpp"
+#include "sim/engine.hpp"
+#include "experiments/registry.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dps;
+  const std::string name_a = argc > 1 ? argv[1] : "LDA";
+  const std::string name_b = argc > 2 ? argv[2] : "EP";
+  const std::string mgr = argc > 3 ? argv[3] : "dps";
+
+  EngineConfig config;
+  config.target_completions = 1;
+  config.record_trace = true;
+  config.max_time = 40000;
+
+  DpsManager dps_mgr;
+  SlurmStatelessManager slurm_mgr;
+  PowerManager& manager =
+      mgr == "dps" ? static_cast<PowerManager&>(dps_mgr) : slurm_mgr;
+
+  const auto result = run_pair(workload_by_name(name_a),
+                               workload_by_name(name_b), manager, config);
+  std::printf("elapsed %.0f s, runs A=%zu B=%zu\n", result.elapsed,
+              result.completions[0].size(), result.completions[1].size());
+
+  // Unit 0 belongs to group A. Bucketize.
+  const auto& ts = result.trace->series(0);
+  double starved = 0, high_demand = 0;
+  for (const auto& s : ts) {
+    if (s.demand > 110.0) {
+      high_demand += 1;
+      if (s.cap < 104.0) starved += 1;
+    }
+  }
+  std::printf("unit0(%s): %d samples, demand>110: %.0f, of those cap<104: %.0f (%.1f%%)\n",
+              name_a.c_str(), (int)ts.size(), high_demand, starved,
+              100.0 * starved / std::max(1.0, high_demand));
+  // Print a fixed window (env-free: args 4,5 give [from,to)).
+  const double from = argc > 4 ? std::atof(argv[4]) : 180.0;
+  const double to = argc > 5 ? std::atof(argv[5]) : 240.0;
+  for (const auto& s : ts) {
+    if (s.time >= from && s.time < to) {
+      std::printf("t=%6.0f demand=%6.1f power=%6.1f measured=%6.1f cap=%6.1f\n",
+                  s.time, s.demand, s.true_power, s.measured_power, s.cap);
+    }
+  }
+  return 0;
+}

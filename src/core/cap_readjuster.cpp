@@ -1,0 +1,98 @@
+#include "core/cap_readjuster.hpp"
+
+#include <algorithm>
+
+namespace dps {
+
+CapReadjuster::CapReadjuster(const DpsConfig& config) : config_(config) {}
+
+void CapReadjuster::reset(const ManagerContext& ctx) { ctx_ = ctx; }
+
+bool CapReadjuster::apply(std::span<const Watts> power,
+                          const std::vector<bool>& priorities,
+                          std::span<Watts> caps) {
+  if (config_.use_restore && restore(power, caps)) return true;
+  readjust(priorities, caps);
+  return false;
+}
+
+bool CapReadjuster::restore(std::span<const Watts> power,
+                            std::span<Watts> caps) const {
+  const Watts initial_cap = ctx_.constant_cap();
+  for (const Watts p : power) {
+    if (p > initial_cap * config_.restore_threshold) return false;
+  }
+  for (std::size_t u = 0; u < caps.size(); ++u) {
+    caps[u] = std::min(initial_cap, ctx_.tdp_of(static_cast<int>(u)));
+  }
+  return true;
+}
+
+void CapReadjuster::readjust(const std::vector<bool>& priorities,
+                             std::span<Watts> caps) const {
+  const std::size_t n = caps.size();
+  Watts cap_sum = 0.0;
+  for (const Watts c : caps) cap_sum += c;
+  Watts avail = ctx_.total_budget - cap_sum;
+
+  std::vector<std::size_t> high;
+  for (std::size_t u = 0; u < n; ++u) {
+    if (priorities[u]) high.push_back(u);
+  }
+  if (high.empty()) return;
+
+  // "Budget left" means enough to matter: a watt per high-priority unit.
+  // Below that (including the float dust the stateless pass leaves behind),
+  // redistribution is what actually helps, so fall through to equalize.
+  const Watts spare_threshold = static_cast<double>(high.size()) * 1.0;
+  if (avail > spare_threshold) {
+    // Spare budget: split it across the high-priority units, weighted by
+    // the inverse of their current caps (lower cap -> larger share) unless
+    // the equal-split ablation is on. Weights renormalize as units saturate
+    // at TDP so no budget is stranded while another unit could take it.
+    std::vector<double> weight(high.size());
+    for (std::size_t i = 0; i < high.size(); ++i) {
+      weight[i] = config_.favor_low_caps
+                      ? 1.0 / std::max(caps[high[i]], ctx_.min_cap)
+                      : 1.0;
+    }
+    for (int pass = 0; pass < 4 && avail > 1e-9; ++pass) {
+      double total_weight = 0.0;
+      for (std::size_t i = 0; i < high.size(); ++i) {
+        if (caps[high[i]] < ctx_.tdp_of(static_cast<int>(high[i]))) {
+          total_weight += weight[i];
+        }
+      }
+      if (total_weight <= 0.0) break;
+      Watts distributed = 0.0;
+      for (std::size_t i = 0; i < high.size(); ++i) {
+        const std::size_t u = high[i];
+        const Watts unit_tdp = ctx_.tdp_of(static_cast<int>(u));
+        if (caps[u] >= unit_tdp) continue;
+        const Watts share = avail * weight[i] / total_weight;
+        const Watts new_cap = std::min(unit_tdp, caps[u] + share);
+        distributed += new_cap - caps[u];
+        caps[u] = new_cap;
+      }
+      avail -= distributed;
+      if (distributed <= 1e-12) break;
+    }
+  } else {
+    // No spare budget: equalize all high-priority units so units that
+    // raised power later are not starved by whoever got the budget first
+    // (the stateless failure mode of Figure 1). Low-priority units are
+    // left alone.
+    Watts budget_high = 0.0;
+    for (const std::size_t u : high) budget_high += caps[u];
+    const Watts equal_cap = std::max(
+        budget_high / static_cast<double>(high.size()), ctx_.min_cap);
+    // Per-unit TDP clamp: a small socket cannot take the full equal share;
+    // any watts it cannot hold stay unassigned for this step (reclaimed by
+    // the next stateless pass).
+    for (const std::size_t u : high) {
+      caps[u] = std::min(equal_cap, ctx_.tdp_of(static_cast<int>(u)));
+    }
+  }
+}
+
+}  // namespace dps

@@ -1,0 +1,57 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/dps_config.hpp"
+#include "managers/manager.hpp"
+
+namespace dps {
+
+/// The cap readjusting module of Section 4.3.4 (Algorithms 3 and 4). Runs
+/// after the stateless module and rewrites its tentative caps using the
+/// priorities:
+///
+///  * Restore (Algorithm 3): when no unit is consuming high power (all
+///    measured powers sit below a threshold fraction of the constant cap),
+///    every cap snaps back to the constant allocation so any unit has
+///    headroom for its next task.
+///  * Readjust (Algorithm 4), skipped if restore fired:
+///     - spare budget left over by the stateless module is handed to the
+///       high-priority units, weighted towards those with *lower* current
+///       caps (they are furthest from their anticipated peak and would
+///       otherwise be penalized hardest if demands rise in order);
+///     - with no spare budget, all high-priority units' caps are equalized
+///       at their collective mean, undoing any unfairness introduced by the
+///       stateless module's random increase order. Since low-priority
+///       units' caps only ever shrink toward their draw, that mean is never
+///       below the constant cap — this is DPS's constant-allocation
+///       lower-bound guarantee.
+class CapReadjuster {
+ public:
+  explicit CapReadjuster(const DpsConfig& config);
+
+  void reset(const ManagerContext& ctx);
+
+  /// Applies a runtime budget change; the restore target (constant cap)
+  /// and the spare-budget computation follow the new value.
+  void update_budget(Watts new_total_budget) {
+    ctx_.total_budget = new_total_budget;
+  }
+
+  /// Applies restore + readjust in place. `priorities` gives each unit's
+  /// high/low priority; `power` is the current measured power.
+  /// Returns true if restore fired (caps are the constant allocation).
+  bool apply(std::span<const Watts> power,
+             const std::vector<bool>& priorities, std::span<Watts> caps);
+
+ private:
+  bool restore(std::span<const Watts> power, std::span<Watts> caps) const;
+  void readjust(const std::vector<bool>& priorities,
+                std::span<Watts> caps) const;
+
+  DpsConfig config_;
+  ManagerContext ctx_;
+};
+
+}  // namespace dps

@@ -1,0 +1,52 @@
+#include "core/dps_manager.hpp"
+
+namespace dps {
+
+DpsManager::DpsManager(const DpsConfig& config)
+    : config_(config),
+      stateless_(config.mimd),
+      history_(config),
+      priority_(config),
+      readjuster_(config) {}
+
+void DpsManager::reset(const ManagerContext& ctx) {
+  ctx_ = ctx;
+  stateless_.reset(ctx);
+  history_.reset(ctx.num_units);
+  priority_.reset(ctx.num_units);
+  readjuster_.reset(ctx);
+  last_restored_ = false;
+}
+
+void DpsManager::update_budget(Watts new_total_budget) {
+  ctx_.total_budget = new_total_budget;
+  stateless_.update_budget(new_total_budget);
+  readjuster_.update_budget(new_total_budget);
+}
+
+void DpsManager::decide(std::span<const Watts> power, std::span<Watts> caps) {
+  // State update: filter the noisy measurements into the power history.
+  history_.observe(power, ctx_.dt);
+
+  // Power dynamics -> priorities, judged against the caps that produced
+  // the measurements (this step's rewrite has not happened yet).
+  if (config_.use_priority_module) priority_.update(history_, caps);
+
+  // Temporary allocation from the stateless module, exactly what the SLURM
+  // baseline would do.
+  stateless_.decide(power, caps);
+
+  if (!config_.use_priority_module) {
+    // Ablation: DPS degenerates to the stateless system (plus restore).
+    if (config_.use_restore) {
+      std::vector<bool> no_priorities(caps.size(), false);
+      last_restored_ = readjuster_.apply(power, no_priorities, caps);
+    }
+    return;
+  }
+
+  // Restore / readjust the stateless module's caps using the priorities.
+  last_restored_ = readjuster_.apply(power, priority_.priorities(), caps);
+}
+
+}  // namespace dps

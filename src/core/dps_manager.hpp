@@ -1,0 +1,53 @@
+#pragma once
+
+#include "core/cap_readjuster.hpp"
+#include "core/dps_config.hpp"
+#include "core/history.hpp"
+#include "core/priority_module.hpp"
+#include "managers/manager.hpp"
+#include "managers/mimd.hpp"
+
+namespace dps {
+
+/// The Dynamic Power Scheduler — the paper's contribution. A model-free
+/// *stateful* power manager: the only state it keeps is each unit's recent
+/// power dynamics (Kalman-filtered power history), from which it derives a
+/// high/low priority per unit and uses it to fix up the decisions of a
+/// stateless MIMD controller. Pipeline per decision step (Figure 3):
+///
+///   measured power ──► Kalman filter ──► estimated power history
+///                │                                │
+///                ├──► stateless module (Alg. 1)   ├──► priority module (Alg. 2)
+///                │             │                  │
+///                └──► restore check (Alg. 3) ◄────┘
+///                              │
+///                    cap readjusting (Alg. 4) ──► new caps
+///
+/// Exposes its internals read-only so experiments can log priorities the
+/// way the paper's artifact does.
+class DpsManager final : public PowerManager {
+ public:
+  explicit DpsManager(const DpsConfig& config = {});
+
+  std::string_view name() const override { return "dps"; }
+  void reset(const ManagerContext& ctx) override;
+  void decide(std::span<const Watts> power, std::span<Watts> caps) override;
+  void update_budget(Watts new_total_budget) override;
+
+  const DpsConfig& config() const { return config_; }
+  const EstimatedPowerHistory& history() const { return history_; }
+  const PriorityModule& priorities() const { return priority_; }
+  /// Whether the last decision step restored all caps to constant.
+  bool last_step_restored() const { return last_restored_; }
+
+ private:
+  DpsConfig config_;
+  MimdController stateless_;
+  EstimatedPowerHistory history_;
+  PriorityModule priority_;
+  CapReadjuster readjuster_;
+  ManagerContext ctx_;
+  bool last_restored_ = false;
+};
+
+}  // namespace dps

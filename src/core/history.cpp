@@ -1,0 +1,75 @@
+#include "core/history.hpp"
+
+#include <stdexcept>
+
+namespace dps {
+
+EstimatedPowerHistory::EstimatedPowerHistory(const DpsConfig& config)
+    : config_(config) {
+  if (config_.history_length < 3) {
+    throw std::invalid_argument(
+        "EstimatedPowerHistory: history_length must be >= 3");
+  }
+}
+
+void EstimatedPowerHistory::reset(int num_units) {
+  filters_.clear();
+  power_.clear();
+  durations_.clear();
+  filters_.reserve(static_cast<std::size_t>(num_units));
+  power_.reserve(static_cast<std::size_t>(num_units));
+  durations_.reserve(static_cast<std::size_t>(num_units));
+  for (int u = 0; u < num_units; ++u) {
+    filters_.emplace_back(config_.kf_process_variance,
+                          config_.kf_measurement_variance);
+    power_.emplace_back(config_.history_length);
+    durations_.emplace_back(config_.history_length);
+  }
+  first_observation_ = true;
+}
+
+void EstimatedPowerHistory::observe(std::span<const Watts> measured,
+                                    Seconds dt) {
+  if (measured.size() != filters_.size()) {
+    throw std::invalid_argument("observe: measurement count mismatch");
+  }
+  for (std::size_t u = 0; u < filters_.size(); ++u) {
+    double estimate = measured[u];
+    if (config_.use_kalman_filter) {
+      if (first_observation_) {
+        // Seed the filter at the first reading so it does not have to
+        // converge from zero.
+        filters_[u].reset(measured[u], config_.kf_measurement_variance);
+        estimate = measured[u];
+      } else {
+        estimate = filters_[u].update(measured[u]);
+      }
+    } else if (config_.ewma_alpha > 0.0 && !first_observation_) {
+      // EWMA ablation: first-order low-pass around the previous estimate.
+      const double previous = power_[u].at_back(0);
+      estimate = previous + config_.ewma_alpha * (measured[u] - previous);
+    }
+    power_[u].push(estimate);
+    durations_[u].push(dt);
+  }
+  first_observation_ = false;
+}
+
+Watts EstimatedPowerHistory::estimate(int unit) const {
+  const auto& window = power_.at(static_cast<std::size_t>(unit));
+  return window.empty() ? 0.0 : window.at_back(0);
+}
+
+const RollingWindow& EstimatedPowerHistory::power_history(int unit) const {
+  return power_.at(static_cast<std::size_t>(unit));
+}
+
+const RollingWindow& EstimatedPowerHistory::duration_history(int unit) const {
+  return durations_.at(static_cast<std::size_t>(unit));
+}
+
+bool EstimatedPowerHistory::warmed_up() const {
+  return !power_.empty() && power_.front().full();
+}
+
+}  // namespace dps

@@ -1,0 +1,55 @@
+#pragma once
+
+#include <vector>
+
+#include "core/dps_config.hpp"
+#include "power/power_interface.hpp"
+#include "signal/kalman.hpp"
+#include "signal/rolling.hpp"
+
+namespace dps {
+
+/// The stateful heart of DPS: the "estimated power history" of Figure 3.
+/// One Kalman filter and one bounded rolling window per unit. Every
+/// decision step the noisy measurements pass through the filters and the
+/// posterior estimates are pushed into the per-unit histories, alongside a
+/// parallel window of step durations (Algorithm 2's duration_history, used
+/// by the average-derivative estimate).
+class EstimatedPowerHistory {
+ public:
+  explicit EstimatedPowerHistory(const DpsConfig& config);
+
+  /// (Re-)sizes for `num_units` units and clears all state.
+  void reset(int num_units);
+
+  /// Filters one step of measurements (in unit order) and appends the
+  /// estimates + the step duration to the histories. With the Kalman
+  /// ablation off, raw measurements are stored instead.
+  void observe(std::span<const Watts> measured, Seconds dt);
+
+  /// Number of units tracked.
+  int num_units() const { return static_cast<int>(power_.size()); }
+
+  /// Most recent power estimate for `unit`.
+  Watts estimate(int unit) const;
+
+  /// The power history window of `unit`, oldest first.
+  const RollingWindow& power_history(int unit) const;
+
+  /// The parallel step-duration window of `unit`.
+  const RollingWindow& duration_history(int unit) const;
+
+  /// Whether the history has accumulated its full window (DPS "needs at
+  /// most the time of the range of estimated power history to make desired
+  /// decisions", Section 6.5).
+  bool warmed_up() const;
+
+ private:
+  DpsConfig config_;
+  std::vector<Kalman1D> filters_;
+  std::vector<RollingWindow> power_;
+  std::vector<RollingWindow> durations_;
+  bool first_observation_ = true;
+};
+
+}  // namespace dps

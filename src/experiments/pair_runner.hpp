@@ -1,0 +1,102 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/dps_config.hpp"
+#include "sim/engine.hpp"
+#include "workloads/spec.hpp"
+
+namespace dps {
+
+/// The four power managers the paper evaluates, plus the feedback-shifter
+/// extension baseline (PShifter-style, see managers/feedback.hpp).
+enum class ManagerKind { kConstant, kSlurm, kOracle, kDps, kFeedback };
+
+const char* to_string(ManagerKind kind);
+
+/// Common parameters of a simulated experiment, defaulting to the paper's
+/// setup: two 10-socket clusters, 1 s decision loop, 110 W per socket of
+/// cluster-wide budget (66.7 % of the 165 W TDP).
+struct ExperimentParams {
+  int sockets_per_cluster = 10;
+  Watts budget_per_socket = 110.0;
+  Seconds dt = 1.0;
+  /// Minimum completed runs per workload in a pair (the paper repeats each
+  /// Spark workload at least 10 times; benches default lower to stay quick
+  /// and accept the DPS_REPEATS env knob).
+  int repeats = 3;
+  std::uint64_t seed = 42;
+  /// DPS tunables (also used for ablations).
+  DpsConfig dps;
+  /// SLURM baseline tunables (the plugin's documented PowerParameters).
+  MimdConfig slurm = slurm_plugin_defaults();
+};
+
+/// Per-workload outcome within one pair run.
+struct WorkloadOutcome {
+  std::string name;
+  std::vector<double> latencies;
+  double hmean_latency = 0.0;
+  Watts mean_power = 0.0;    // per-socket, active portions only
+  double satisfaction = 0.0; // Equation 1, vs the uncapped solo run
+  double speedup = 0.0;      // vs the constant-allocation solo baseline
+};
+
+/// Outcome of co-running two workloads under one manager.
+struct PairOutcome {
+  ManagerKind manager;
+  WorkloadOutcome a;
+  WorkloadOutcome b;
+  double fairness = 0.0;   // Equation 2 between the two clusters
+  double pair_hmean = 0.0; // harmonic mean of the two speedups
+  Watts peak_cap_sum = 0.0;
+  Seconds simulated_time = 0.0;
+};
+
+/// Runs workload pairs under any of the four managers and computes the
+/// paper's metrics against memoized solo baselines:
+///   - constant-allocation solo latency (the speedup denominator), and
+///   - uncapped solo mean power (the satisfaction denominator).
+/// One PairRunner should be reused across a sweep so the baselines are
+/// computed once per workload.
+class PairRunner {
+ public:
+  explicit PairRunner(const ExperimentParams& params = {});
+
+  /// Co-runs `a` and `b` on the two clusters under `kind`.
+  PairOutcome run_pair(const WorkloadSpec& a, const WorkloadSpec& b,
+                       ManagerKind kind);
+
+  /// Solo run under constant allocation; returns the harmonic-mean latency.
+  double baseline_hmean(const WorkloadSpec& spec);
+
+  /// Solo run with caps at TDP; returns the mean per-socket active power.
+  Watts uncapped_mean_power(const WorkloadSpec& spec);
+
+  /// Solo run under constant allocation; returns all completion latencies
+  /// (used by the Table 2 / Table 4 characterization benches).
+  std::vector<double> baseline_latencies(const WorkloadSpec& spec);
+
+  const ExperimentParams& params() const { return params_; }
+
+ private:
+  struct SoloStats {
+    std::vector<double> latencies;
+    double hmean = 0.0;
+    Watts mean_power = 0.0;
+  };
+
+  SoloStats solo_run(const WorkloadSpec& spec, Watts cap_per_socket);
+  const SoloStats& baseline(const WorkloadSpec& spec);
+  const SoloStats& uncapped(const WorkloadSpec& spec);
+
+  ExperimentParams params_;
+  std::map<std::string, SoloStats> baseline_cache_;
+  std::map<std::string, SoloStats> uncapped_cache_;
+};
+
+}  // namespace dps

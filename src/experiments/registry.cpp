@@ -1,0 +1,29 @@
+#include "experiments/registry.hpp"
+
+#include "workloads/npb_suite.hpp"
+#include "workloads/spark_suite.hpp"
+
+namespace dps {
+
+WorkloadSpec workload_by_name(const std::string& name) {
+  for (auto& spec : spark_suite()) {
+    if (spec.name == name) return spec;
+  }
+  return npb_workload(name);
+}
+
+PaperWorkloadStats paper_stats_by_name(const std::string& name) {
+  for (const auto& spec : spark_suite()) {
+    if (spec.name == name) return spark_paper_stats(name);
+  }
+  return npb_paper_stats(name);
+}
+
+std::vector<std::string> all_workload_names() {
+  std::vector<std::string> names;
+  for (const auto& spec : spark_suite()) names.push_back(spec.name);
+  for (const auto& name : npb_names()) names.push_back(name);
+  return names;
+}
+
+}  // namespace dps

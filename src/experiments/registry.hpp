@@ -1,0 +1,22 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "workloads/spec.hpp"
+
+namespace dps {
+
+/// Unified lookup across the Spark (Table 2) and NPB (Table 4) suites.
+/// Throws std::invalid_argument for unknown names.
+WorkloadSpec workload_by_name(const std::string& name);
+
+/// Paper-published stats (duration under constant 110 W, time share above
+/// 110 W) for any workload in either table.
+PaperWorkloadStats paper_stats_by_name(const std::string& name);
+
+/// All 19 workload names: the 11 Spark ones in Table 2 order, then the 8
+/// NPB ones in Table 4 order.
+std::vector<std::string> all_workload_names();
+
+}  // namespace dps

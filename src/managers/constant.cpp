@@ -1,0 +1,16 @@
+#include "managers/constant.hpp"
+
+#include <algorithm>
+
+namespace dps {
+
+void ConstantManager::decide(std::span<const Watts> power,
+                             std::span<Watts> caps) {
+  (void)power;
+  const Watts cap = ctx_.constant_cap();
+  for (std::size_t u = 0; u < caps.size(); ++u) {
+    caps[u] = std::min(cap, ctx_.tdp_of(static_cast<int>(u)));
+  }
+}
+
+}  // namespace dps

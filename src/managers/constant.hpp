@@ -1,0 +1,23 @@
+#pragma once
+
+#include "managers/manager.hpp"
+
+namespace dps {
+
+/// Constant-allocation baseline (paper Section 2.1): every unit gets an
+/// equal static share of the cluster budget and caps never move. Trivially
+/// respects the budget; wastes headroom whenever demands are uneven.
+class ConstantManager final : public PowerManager {
+ public:
+  std::string_view name() const override { return "constant"; }
+  void reset(const ManagerContext& ctx) override { ctx_ = ctx; }
+  void decide(std::span<const Watts> power, std::span<Watts> caps) override;
+  void update_budget(Watts new_total_budget) override {
+    ctx_.total_budget = new_total_budget;
+  }
+
+ private:
+  ManagerContext ctx_;
+};
+
+}  // namespace dps

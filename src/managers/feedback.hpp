@@ -1,0 +1,44 @@
+#pragma once
+
+#include <vector>
+
+#include "managers/manager.hpp"
+
+namespace dps {
+
+/// Extension baseline: a PShifter-style proportional feedback power
+/// shifter (paper ref [15], discussed in Related Work as the
+/// feedback-control family of model-based systems). Each step it measures
+/// every unit's *slack* (cap minus measured power), withdraws a gain-scaled
+/// share of the slack from comfortable units into a pool, and deals the
+/// pool to constrained units proportionally to how hard they press against
+/// their caps. Unlike DPS it keeps no history at all and reacts purely to
+/// the instantaneous error signal; unlike the MIMD stateless system its
+/// steps are proportional rather than fixed percentages, so it converges
+/// smoothly but still cannot anticipate phase changes.
+struct FeedbackConfig {
+  /// Fraction of a unit's slack reclaimed per step (P-gain of the loop).
+  double gain = 0.3;
+  /// Slack below this fraction of the cap marks a unit as constrained.
+  double pinch_fraction = 0.05;
+  /// Headroom left above measured power when withdrawing slack, in watts.
+  Watts slack_margin = 5.0;
+};
+
+class FeedbackManager final : public PowerManager {
+ public:
+  explicit FeedbackManager(const FeedbackConfig& config = {});
+
+  std::string_view name() const override { return "feedback"; }
+  void reset(const ManagerContext& ctx) override;
+  void decide(std::span<const Watts> power, std::span<Watts> caps) override;
+  void update_budget(Watts new_total_budget) override {
+    ctx_.total_budget = new_total_budget;
+  }
+
+ private:
+  FeedbackConfig config_;
+  ManagerContext ctx_;
+};
+
+}  // namespace dps

@@ -1,0 +1,102 @@
+#include "managers/hierarchical.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dps {
+
+HierarchicalManager::HierarchicalManager(const HierarchicalConfig& config)
+    : config_(config) {
+  if (config_.units_per_enclave <= 0 || config_.share_smoothing <= 0.0 ||
+      config_.share_smoothing > 1.0 || config_.min_share_fraction < 0.0 ||
+      config_.min_share_fraction > 1.0) {
+    throw std::invalid_argument("HierarchicalConfig: invalid parameters");
+  }
+}
+
+void HierarchicalManager::reset(const ManagerContext& ctx) {
+  if (ctx.num_units % config_.units_per_enclave != 0) {
+    throw std::invalid_argument(
+        "HierarchicalManager: units not divisible into enclaves");
+  }
+  ctx_ = ctx;
+  num_enclaves_ = ctx.num_units / config_.units_per_enclave;
+  shares_.assign(static_cast<std::size_t>(num_enclaves_),
+                 ctx.total_budget / num_enclaves_);
+  locals_.clear();
+  locals_.reserve(static_cast<std::size_t>(num_enclaves_));
+  for (int e = 0; e < num_enclaves_; ++e) {
+    locals_.emplace_back(config_.local);
+    ManagerContext local_ctx = ctx;
+    local_ctx.num_units = config_.units_per_enclave;
+    local_ctx.total_budget = shares_[static_cast<std::size_t>(e)];
+    if (!ctx.unit_tdp.empty()) {
+      const auto begin =
+          ctx.unit_tdp.begin() + e * config_.units_per_enclave;
+      local_ctx.unit_tdp.assign(begin, begin + config_.units_per_enclave);
+    }
+    locals_.back().reset(local_ctx);
+  }
+}
+
+void HierarchicalManager::decide(std::span<const Watts> power,
+                                 std::span<Watts> caps) {
+  const int per = config_.units_per_enclave;
+
+  // Global level: re-split the budget proportionally to enclave power.
+  std::vector<double> enclave_power(static_cast<std::size_t>(num_enclaves_),
+                                    0.0);
+  double total_power = 0.0;
+  for (int e = 0; e < num_enclaves_; ++e) {
+    for (int u = 0; u < per; ++u) {
+      enclave_power[static_cast<std::size_t>(e)] +=
+          power[static_cast<std::size_t>(e * per + u)];
+    }
+    total_power += enclave_power[static_cast<std::size_t>(e)];
+  }
+
+  const Watts equal_share = ctx_.total_budget / num_enclaves_;
+  const Watts floor = equal_share * config_.min_share_fraction;
+  if (total_power > 0.0) {
+    // Proportional targets above the floor; renormalize exactly so the
+    // shares always sum to the full budget.
+    std::vector<double> target(static_cast<std::size_t>(num_enclaves_));
+    double target_sum = 0.0;
+    for (int e = 0; e < num_enclaves_; ++e) {
+      const auto index = static_cast<std::size_t>(e);
+      target[index] =
+          floor + (ctx_.total_budget - floor * num_enclaves_) *
+                      (enclave_power[index] / total_power);
+      target_sum += target[index];
+    }
+    const double normalize = ctx_.total_budget / target_sum;
+    for (int e = 0; e < num_enclaves_; ++e) {
+      const auto index = static_cast<std::size_t>(e);
+      const Watts smoothed =
+          shares_[index] +
+          config_.share_smoothing * (target[index] * normalize -
+                                     shares_[index]);
+      shares_[index] = smoothed;
+    }
+    // Smoothing of a normalized target preserves the sum (convex mix of
+    // two allocations that both sum to the budget).
+  }
+
+  // Local level: each enclave's MIMD allocates its share to its units.
+  for (int e = 0; e < num_enclaves_; ++e) {
+    const auto index = static_cast<std::size_t>(e);
+    locals_[index].update_budget(shares_[index]);
+    const auto offset = static_cast<std::size_t>(e * per);
+    locals_[index].decide(power.subspan(offset, static_cast<std::size_t>(per)),
+                          caps.subspan(offset, static_cast<std::size_t>(per)));
+  }
+}
+
+void HierarchicalManager::update_budget(Watts new_total_budget) {
+  const double scale =
+      ctx_.total_budget > 0.0 ? new_total_budget / ctx_.total_budget : 1.0;
+  ctx_.total_budget = new_total_budget;
+  for (auto& share : shares_) share *= scale;
+}
+
+}  // namespace dps

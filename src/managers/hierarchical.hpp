@@ -1,0 +1,53 @@
+#pragma once
+
+#include <vector>
+
+#include "managers/manager.hpp"
+#include "managers/mimd.hpp"
+
+namespace dps {
+
+/// Tunables of the two-level hierarchical manager.
+struct HierarchicalConfig {
+  /// Units per enclave (the Argo project's "conclave" granularity). The
+  /// unit count must be divisible by this.
+  int units_per_enclave = 10;
+  /// EWMA smoothing of the enclave share re-split (1 = jump straight to
+  /// the proportional target each step; small = slow drift).
+  double share_smoothing = 0.25;
+  /// An enclave's share never drops below this fraction of the equal
+  /// split, so a momentarily idle enclave keeps headroom for new jobs.
+  double min_share_fraction = 0.5;
+  /// The per-enclave local allocator (Algorithm 1 family).
+  MimdConfig local;
+};
+
+/// Argo-style two-level stateless power manager (paper Related Work,
+/// refs [7-9]): a global level splits the cluster budget across enclaves
+/// proportionally to each enclave's aggregate measured power (with
+/// smoothing and a floor), and an independent stateless MIMD controller
+/// inside every enclave allocates that share to its units. Two levels cut
+/// the coordination fan-out (the global level only sees enclave sums) at
+/// the price of cross-enclave rebalancing lag — the tradeoff the
+/// hierarchical bench quantifies against flat SLURM and DPS.
+class HierarchicalManager final : public PowerManager {
+ public:
+  explicit HierarchicalManager(const HierarchicalConfig& config = {});
+
+  std::string_view name() const override { return "hierarchical"; }
+  void reset(const ManagerContext& ctx) override;
+  void decide(std::span<const Watts> power, std::span<Watts> caps) override;
+  void update_budget(Watts new_total_budget) override;
+
+  /// Current budget share of each enclave (for tests/benches).
+  const std::vector<Watts>& enclave_shares() const { return shares_; }
+
+ private:
+  HierarchicalConfig config_;
+  ManagerContext ctx_;
+  int num_enclaves_ = 0;
+  std::vector<MimdController> locals_;
+  std::vector<Watts> shares_;
+};
+
+}  // namespace dps

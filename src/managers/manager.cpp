@@ -1,0 +1,44 @@
+#include "managers/manager.hpp"
+
+#include <algorithm>
+
+namespace dps {
+
+bool enforce_budget(std::span<Watts> caps, Watts total_budget,
+                    Watts min_cap) {
+  Watts sum = 0.0;
+  for (const Watts c : caps) sum += c;
+  if (sum <= total_budget) return false;
+
+  // Proportional shed, iterating because caps pinned at the hardware
+  // minimum shrink the pool available to scale.
+  for (int pass = 0; pass < static_cast<int>(caps.size()) + 1; ++pass) {
+    Watts pinned_total = 0.0;
+    Watts scalable = 0.0;
+    for (const Watts c : caps) {
+      if (c <= min_cap) {
+        pinned_total += c;
+      } else {
+        scalable += c;
+      }
+    }
+    if (scalable <= 0.0) break;
+    const double scale =
+        std::max(0.0, (total_budget - pinned_total) / scalable);
+    bool newly_pinned = false;
+    for (auto& c : caps) {
+      if (c <= min_cap) continue;
+      const Watts scaled = c * scale;
+      if (scaled < min_cap) {
+        c = min_cap;
+        newly_pinned = true;
+      } else {
+        c = scaled;
+      }
+    }
+    if (!newly_pinned) break;
+  }
+  return true;
+}
+
+}  // namespace dps

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "managers/manager.hpp"
+
+namespace dps {
+
+/// The "perfect model-based system" reference point (paper Figures 1 and 4).
+/// Unlike every realizable manager it is allowed to read each unit's *true
+/// instantaneous power demand* — the hidden variable that model-based
+/// systems approximate with learned models — through a probe supplied by
+/// the simulator. It then:
+///   - meets all demands (plus a little headroom for the next phase) when
+///     the budget suffices, and
+///   - splits the budget proportionally to demand when it does not, which
+///     equalizes every unit's satisfaction (the paper's fairness target).
+/// The paper notes even its oracle is not always optimal (Section 6.1);
+/// this one is likewise a strong but not clairvoyant reference — it sees
+/// present demand perfectly but not the future.
+class OracleManager final : public PowerManager {
+ public:
+  /// `demand_probe` must fill its argument with the true demand of every
+  /// unit, in unit order.
+  using DemandProbe = std::function<void(std::span<Watts>)>;
+
+  explicit OracleManager(DemandProbe demand_probe, Watts headroom = 5.0);
+
+  std::string_view name() const override { return "oracle"; }
+  void reset(const ManagerContext& ctx) override;
+  void decide(std::span<const Watts> power, std::span<Watts> caps) override;
+  void update_budget(Watts new_total_budget) override {
+    ctx_.total_budget = new_total_budget;
+  }
+
+ private:
+  DemandProbe demand_probe_;
+  Watts headroom_;
+  ManagerContext ctx_;
+  std::vector<Watts> demands_;
+};
+
+}  // namespace dps

@@ -1,0 +1,17 @@
+#include "managers/slurm_stateless.hpp"
+
+namespace dps {
+
+SlurmStatelessManager::SlurmStatelessManager(const MimdConfig& config)
+    : mimd_(config) {}
+
+void SlurmStatelessManager::reset(const ManagerContext& ctx) {
+  mimd_.reset(ctx);
+}
+
+void SlurmStatelessManager::decide(std::span<const Watts> power,
+                                   std::span<Watts> caps) {
+  mimd_.decide(power, caps);
+}
+
+}  // namespace dps

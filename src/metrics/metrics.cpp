@@ -1,0 +1,54 @@
+#include "metrics/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "signal/rolling.hpp"
+
+namespace dps {
+
+double satisfaction(Watts mean_power_capped, Watts mean_power_uncapped) {
+  if (mean_power_uncapped <= 0.0) {
+    throw std::invalid_argument("satisfaction: uncapped power must be > 0");
+  }
+  return std::clamp(mean_power_capped / mean_power_uncapped, 0.0, 1.0);
+}
+
+double fairness(double satisfaction_i, double satisfaction_j) {
+  return 1.0 - std::abs(satisfaction_i - satisfaction_j);
+}
+
+double speedup(double baseline_hmean_latency, double hmean_latency) {
+  if (hmean_latency <= 0.0 || baseline_hmean_latency <= 0.0) {
+    throw std::invalid_argument("speedup: latencies must be > 0");
+  }
+  return baseline_hmean_latency / hmean_latency;
+}
+
+double hmean_latency(std::span<const double> latencies) {
+  return harmonic_mean(latencies);
+}
+
+double pair_hmean(double speedup_a, double speedup_b) {
+  const double pair[] = {speedup_a, speedup_b};
+  return harmonic_mean(pair);
+}
+
+Summary summarize(std::span<const double> values) {
+  Summary s;
+  s.count = values.size();
+  if (values.empty()) return s;
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  s.min = sorted.front();
+  s.max = sorted.back();
+  const std::size_t mid = sorted.size() / 2;
+  s.median = sorted.size() % 2 == 1
+                 ? sorted[mid]
+                 : 0.5 * (sorted[mid - 1] + sorted[mid]);
+  s.mean = mean_of(sorted);
+  return s;
+}
+
+}  // namespace dps

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "power/power_interface.hpp"
+
+namespace dps {
+
+/// Equation 1: a node's satisfaction is how much of its power demand the
+/// manager met over the workload's lifetime — average power under the
+/// current cap divided by average power under no cap.
+/// Clamped to [0, 1]: measurement noise / jitter can push the ratio
+/// slightly above one, which would make fairness exceed unity.
+double satisfaction(Watts mean_power_capped, Watts mean_power_uncapped);
+
+/// Equation 2: fairness between two nodes is unity minus the absolute
+/// difference of their satisfactions; 1 means both got the same share of
+/// what they asked for.
+double fairness(double satisfaction_i, double satisfaction_j);
+
+/// Speedup of a workload relative to its constant-allocation baseline:
+/// baseline harmonic-mean latency divided by the measured harmonic-mean
+/// latency (>1 means the manager beat constant allocation). This is the
+/// quantity Figures 4-6 plot.
+double speedup(double baseline_hmean_latency, double hmean_latency);
+
+/// Harmonic mean of latencies, the paper's aggregate for repeated runs.
+double hmean_latency(std::span<const double> latencies);
+
+/// Harmonic mean of two paired workloads' speedups (Figures 5b and 6).
+double pair_hmean(double speedup_a, double speedup_b);
+
+/// Simple summary statistics over a set of values (used for the fairness
+/// distribution of Figure 7 and the result tables).
+struct Summary {
+  double mean = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double median = 0.0;
+  std::size_t count = 0;
+};
+
+Summary summarize(std::span<const double> values);
+
+}  // namespace dps

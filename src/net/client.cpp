@@ -1,0 +1,100 @@
+#include "net/client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+namespace dps {
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw std::runtime_error(what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+NodeClient::NodeClient(PowerSource power_source, CapSink cap_sink)
+    : power_source_(std::move(power_source)), cap_sink_(std::move(cap_sink)) {
+  if (!power_source_ || !cap_sink_) {
+    throw std::invalid_argument("NodeClient: callbacks required");
+  }
+}
+
+NodeClient::~NodeClient() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void NodeClient::connect(std::uint16_t port, const std::string& host) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) throw_errno("socket");
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd_);
+    fd_ = -1;
+    throw std::runtime_error("NodeClient: bad IPv4 address: " + host);
+  }
+  addr.sin_port = htons(port);
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    throw_errno("connect");
+  }
+}
+
+bool NodeClient::run_round() {
+  const auto report =
+      encode(Message{MessageType::kPowerReport, power_source_()});
+  std::size_t sent = 0;
+  while (sent < report.size()) {
+    const ssize_t n =
+        ::send(fd_, report.data() + sent, report.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("send");
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+
+  WireBytes bytes;
+  std::size_t got = 0;
+  while (got < bytes.size()) {
+    const ssize_t n = ::recv(fd_, bytes.data() + got, bytes.size() - got, 0);
+    if (n == 0) return false;
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("recv");
+    }
+    got += static_cast<std::size_t>(n);
+  }
+
+  const auto message = decode(bytes);
+  if (!message) throw std::runtime_error("undecodable server message");
+  switch (message->type) {
+    case MessageType::kSetCap:
+      cap_sink_(message->value);
+      return true;
+    case MessageType::kKeepCap:
+      return true;
+    case MessageType::kShutdown:
+      return false;
+    case MessageType::kPowerReport:
+      throw std::runtime_error("server sent a power report");
+  }
+  return false;
+}
+
+int NodeClient::run() {
+  int rounds = 0;
+  while (run_round()) ++rounds;
+  return rounds;
+}
+
+}  // namespace dps

@@ -1,0 +1,45 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "net/protocol.hpp"
+
+namespace dps {
+
+/// Per-node client of the control plane: connects to the central server,
+/// then loops — report measured power (3 bytes), receive the new cap
+/// (3 bytes), apply it locally. On real deployments the callbacks wrap
+/// RAPL; in this repository they wrap the simulator or a canned trace.
+class NodeClient {
+ public:
+  /// Returns the unit's measured average power since the last call.
+  using PowerSource = std::function<Watts()>;
+  /// Applies a freshly received power cap.
+  using CapSink = std::function<void(Watts)>;
+
+  NodeClient(PowerSource power_source, CapSink cap_sink);
+  ~NodeClient();
+
+  NodeClient(const NodeClient&) = delete;
+  NodeClient& operator=(const NodeClient&) = delete;
+
+  /// Connects to `host`:`port` (IPv4 dotted-quad; default loopback).
+  /// Throws std::runtime_error on failure.
+  void connect(std::uint16_t port, const std::string& host = "127.0.0.1");
+
+  /// Runs the report/receive loop until the server sends shutdown or the
+  /// connection closes. Returns the number of completed rounds.
+  int run();
+
+  /// Runs exactly one round; returns false if the server shut us down.
+  bool run_round();
+
+ private:
+  PowerSource power_source_;
+  CapSink cap_sink_;
+  int fd_ = -1;
+};
+
+}  // namespace dps

@@ -1,0 +1,33 @@
+#include "net/protocol.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dps {
+
+WireBytes encode(const Message& message) {
+  const double deciwatts = std::round(message.value * 10.0);
+  const auto clamped = static_cast<std::uint16_t>(
+      std::clamp(deciwatts, 0.0, 65535.0));
+  return WireBytes{static_cast<std::uint8_t>(message.type),
+                   static_cast<std::uint8_t>(clamped >> 8),
+                   static_cast<std::uint8_t>(clamped & 0xff)};
+}
+
+std::optional<Message> decode(const WireBytes& bytes) {
+  const auto type = static_cast<MessageType>(bytes[0]);
+  switch (type) {
+    case MessageType::kPowerReport:
+    case MessageType::kSetCap:
+    case MessageType::kKeepCap:
+    case MessageType::kShutdown:
+      break;
+    default:
+      return std::nullopt;
+  }
+  const std::uint16_t deciwatts =
+      static_cast<std::uint16_t>((bytes[1] << 8) | bytes[2]);
+  return Message{type, static_cast<Watts>(deciwatts) / 10.0};
+}
+
+}  // namespace dps

@@ -1,0 +1,47 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+
+#include "power/power_interface.hpp"
+
+namespace dps {
+
+/// Wire format between the central DPS/SLURM server and the per-node
+/// clients. The paper's overhead analysis (Section 6.5) states that "only
+/// 3 bytes are exchanged per request with each node"; this codec realizes
+/// exactly that: every message is 3 bytes — a 1-byte type tag and a 16-bit
+/// big-endian payload carrying power or cap in deciwatts (0.1 W resolution,
+/// range 0 .. 6553.5 W, far above any socket's TDP).
+enum class MessageType : std::uint8_t {
+  /// Client -> server: measured average power since the last report.
+  kPowerReport = 0x01,
+  /// Server -> client: new power cap to enforce.
+  kSetCap = 0x02,
+  /// Server -> client: keep the current cap (no change this step).
+  kKeepCap = 0x03,
+  /// Either direction: orderly shutdown of the session.
+  kShutdown = 0x04,
+};
+
+inline constexpr std::size_t kMessageSize = 3;
+
+struct Message {
+  MessageType type;
+  Watts value;  // power or cap; ignored for kKeepCap / kShutdown
+};
+
+using WireBytes = std::array<std::uint8_t, kMessageSize>;
+
+/// Encodes a message; the value saturates at the codec's deciwatt range.
+WireBytes encode(const Message& message);
+
+/// Decodes 3 bytes; returns nullopt for an unknown type tag.
+std::optional<Message> decode(const WireBytes& bytes);
+
+/// Quantization applied by the codec (for tests: |decoded - original| is
+/// at most half of this).
+inline constexpr Watts kWireResolution = 0.1;
+
+}  // namespace dps

@@ -1,0 +1,223 @@
+#include "net/server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+namespace dps {
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw std::runtime_error(what + ": " + std::strerror(errno));
+}
+
+void send_all(int fd, const std::uint8_t* data, std::size_t len) {
+  std::size_t sent = 0;
+  while (sent < len) {
+    const ssize_t n = ::send(fd, data + sent, len - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("send");
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+/// send_all that reports a broken peer instead of throwing.
+bool try_send_all(int fd, const std::uint8_t* data, std::size_t len) {
+  std::size_t sent = 0;
+  while (sent < len) {
+    const ssize_t n = ::send(fd, data + sent, len - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EPIPE || errno == ECONNRESET) return false;
+      throw_errno("send");
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool recv_all(int fd, std::uint8_t* data, std::size_t len) {
+  std::size_t got = 0;
+  while (got < len) {
+    const ssize_t n = ::recv(fd, data + got, len - got, 0);
+    if (n == 0) return false;  // orderly close
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("recv");
+    }
+    got += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+ControlServer::ControlServer(std::uint16_t port, int expected_units,
+                             bool bind_any)
+    : expected_units_(expected_units) {
+  if (expected_units <= 0) {
+    throw std::invalid_argument("ControlServer: expected_units must be > 0");
+  }
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) throw_errno("socket");
+
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(bind_any ? INADDR_ANY : INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    throw_errno("bind");
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) <
+      0) {
+    throw_errno("getsockname");
+  }
+  port_ = ntohs(addr.sin_port);
+  if (::listen(listen_fd_, expected_units) < 0) throw_errno("listen");
+}
+
+ControlServer::~ControlServer() {
+  for (std::size_t u = 0; u < client_fds_.size(); ++u) {
+    if (!client_dead_[u]) ::close(client_fds_[u]);
+  }
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+}
+
+void ControlServer::accept_all() {
+  client_fds_.reserve(static_cast<std::size_t>(expected_units_));
+  while (static_cast<int>(client_fds_.size()) < expected_units_) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("accept");
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    client_fds_.push_back(fd);
+    client_dead_.push_back(false);
+  }
+}
+
+void ControlServer::begin_session(PowerManager& manager,
+                                  const ManagerContext& ctx) {
+  const std::size_t n = client_fds_.size();
+  if (static_cast<int>(n) != ctx.num_units) {
+    throw std::invalid_argument("begin_session: unit count mismatch");
+  }
+  manager.reset(ctx);
+  caps_.assign(n, ctx.constant_cap());
+  // Force a kSetCap for every unit on the first round: the clients have
+  // not applied the constant allocation yet.
+  previous_caps_.assign(n, -1.0);
+  power_.assign(n, 0.0);
+  set_cap_messages_ = 0;
+  keep_cap_messages_ = 0;
+}
+
+std::uint64_t ControlServer::run_round(PowerManager& manager) {
+  const std::size_t n = client_fds_.size();
+  if (caps_.size() != n) {
+    throw std::logic_error("run_round: begin_session not called");
+  }
+  // Collect one 3-byte report from every live unit. Units report
+  // concurrently; reading them in order still totals the same bytes and,
+  // on loopback, the same syscall count the paper's turnaround analysis
+  // counts. A disconnected client is marked dead; its unit keeps its last
+  // reported power so the manager's budget accounting stays realistic.
+  int alive = 0;
+  for (std::size_t u = 0; u < n; ++u) {
+    if (client_dead_[u]) continue;
+    WireBytes bytes;
+    if (!recv_all(client_fds_[u], bytes.data(), bytes.size())) {
+      client_dead_[u] = true;
+      ::close(client_fds_[u]);
+      continue;
+    }
+    const auto message = decode(bytes);
+    if (!message || message->type != MessageType::kPowerReport) {
+      throw std::runtime_error("unexpected message from client");
+    }
+    power_[u] = message->value;
+    ++alive;
+  }
+  if (alive == 0) {
+    throw std::runtime_error("run_round: all clients disconnected");
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  manager.decide(power_, caps_);
+  const auto t1 = std::chrono::steady_clock::now();
+
+  for (std::size_t u = 0; u < n; ++u) {
+    if (client_dead_[u]) continue;
+    // Caps that moved less than the wire resolution would decode to the
+    // same value anyway — tell the client to keep what it has and skip
+    // the RAPL write.
+    const bool unchanged =
+        std::abs(caps_[u] - previous_caps_[u]) < kWireResolution / 2;
+    const Message message =
+        unchanged ? Message{MessageType::kKeepCap, 0.0}
+                  : Message{MessageType::kSetCap, caps_[u]};
+    if (unchanged) {
+      ++keep_cap_messages_;
+    } else {
+      ++set_cap_messages_;
+      previous_caps_[u] = caps_[u];
+    }
+    const auto bytes = encode(message);
+    if (!try_send_all(client_fds_[u], bytes.data(), bytes.size())) {
+      client_dead_[u] = true;
+      ::close(client_fds_[u]);
+    }
+  }
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count());
+}
+
+std::uint64_t ControlServer::run_rounds(PowerManager& manager,
+                                        const ManagerContext& ctx,
+                                        int rounds) {
+  begin_session(manager, ctx);
+  std::uint64_t decide_ns = 0;
+  for (int round = 0; round < rounds; ++round) {
+    decide_ns += run_round(manager);
+  }
+  return decide_ns;
+}
+
+int ControlServer::alive_count() const {
+  int alive = 0;
+  for (std::size_t u = 0; u < client_fds_.size(); ++u) {
+    if (!client_dead_[u]) ++alive;
+  }
+  return alive;
+}
+
+void ControlServer::shutdown() {
+  for (std::size_t u = 0; u < client_fds_.size(); ++u) {
+    if (client_dead_[u]) continue;
+    const auto bytes = encode(Message{MessageType::kShutdown, 0.0});
+    try_send_all(client_fds_[u], bytes.data(), bytes.size());
+    ::close(client_fds_[u]);
+  }
+  client_fds_.clear();
+  client_dead_.clear();
+}
+
+}  // namespace dps

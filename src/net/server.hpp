@@ -1,0 +1,89 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "managers/manager.hpp"
+#include "net/protocol.hpp"
+
+namespace dps {
+
+/// Central controller node: accepts one TCP connection per power-capping
+/// unit, then runs the synchronous decision loop the paper describes —
+/// every round it collects a 3-byte power report from each unit, hands the
+/// vector of measurements to the PowerManager, and answers each unit with a
+/// 3-byte cap message. This is the deployment shape of both DPS and SLURM's
+/// plugin (server on a central node, clients on computing nodes), and it is
+/// what the Section 6.5 overhead bench drives over loopback.
+class ControlServer {
+ public:
+  /// Binds and listens on `port` (0 picks a free port). By default only
+  /// loopback is bound; pass bind_any for a real multi-machine deployment.
+  ControlServer(std::uint16_t port, int expected_units,
+                bool bind_any = false);
+  ~ControlServer();
+
+  ControlServer(const ControlServer&) = delete;
+  ControlServer& operator=(const ControlServer&) = delete;
+
+  /// Port actually bound (useful with port 0).
+  std::uint16_t port() const { return port_; }
+
+  /// Blocks until all expected units have connected. Unit ids are assigned
+  /// in connection order.
+  void accept_all();
+
+  /// Runs `rounds` decision rounds with `manager`, starting from the
+  /// constant allocation defined by `ctx`. Returns the total wall-clock
+  /// nanoseconds spent inside manager.decide() (the pure controller cost,
+  /// as opposed to communication).
+  std::uint64_t run_rounds(PowerManager& manager, const ManagerContext& ctx,
+                           int rounds);
+
+  /// Long-lived session variant: begin_session resets `manager` once;
+  /// each run_round then performs one collect/decide/answer exchange
+  /// without touching the manager's accumulated state (essential for DPS,
+  /// whose whole point is the state it keeps between rounds). Returns the
+  /// nanoseconds spent inside manager.decide().
+  ///
+  /// Fault tolerance: a client that disconnects is marked dead, its unit
+  /// keeps reporting its last known power to the manager (so budget
+  /// accounting stays intact — the node is presumably still drawing
+  /// roughly that), and no further messages are sent to it. The session
+  /// keeps serving the surviving clients; run_round throws only when every
+  /// client is gone.
+  void begin_session(PowerManager& manager, const ManagerContext& ctx);
+  std::uint64_t run_round(PowerManager& manager);
+
+  /// Clients still connected.
+  int alive_count() const;
+
+  /// Sends every client a shutdown message and closes the connections.
+  void shutdown();
+
+  /// Caps decided in the most recent round (for inspection by tests).
+  const std::vector<Watts>& last_caps() const { return caps_; }
+
+  /// Session message counters: rounds where a unit's cap changed send a
+  /// kSetCap (the client performs a RAPL write); unchanged caps send
+  /// kKeepCap (same 3 bytes on the wire, but the client skips the write —
+  /// with DPS's restore active, most quiet rounds are all-keep).
+  std::uint64_t set_cap_messages() const { return set_cap_messages_; }
+  std::uint64_t keep_cap_messages() const { return keep_cap_messages_; }
+
+ private:
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  int expected_units_ = 0;
+  std::vector<int> client_fds_;
+  std::vector<bool> client_dead_;
+  std::vector<Watts> caps_;
+  std::vector<Watts> previous_caps_;
+  std::vector<Watts> power_;
+  std::uint64_t set_cap_messages_ = 0;
+  std::uint64_t keep_cap_messages_ = 0;
+};
+
+}  // namespace dps

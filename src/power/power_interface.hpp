@@ -1,0 +1,45 @@
+#pragma once
+
+#include <cstdint>
+
+namespace dps {
+
+/// Power in watts. All power values in the library are doubles in watts.
+using Watts = double;
+/// Wall-clock / simulated time in seconds.
+using Seconds = double;
+/// Energy in joules.
+using Joules = double;
+
+/// The two hardware abilities DPS needs (paper Section 4.2): reading a power
+/// capping unit's recent average power and setting its power cap. The paper
+/// implements this against Intel RAPL but explicitly notes DPS is not tied
+/// to RAPL; this interface is that seam. The simulator, the loopback TCP
+/// control plane, and the tests all provide implementations.
+class PowerInterface {
+ public:
+  virtual ~PowerInterface() = default;
+
+  /// Number of independently cappable units (sockets in the paper's setup).
+  virtual int num_units() const = 0;
+
+  /// Average power of `unit` over the window since the previous read of
+  /// that unit, in watts. May include measurement noise.
+  virtual Watts read_power(int unit) = 0;
+
+  /// Requests a new power cap for `unit`. Implementations clamp to
+  /// [min_cap(), tdp()] and may apply the cap with actuation latency.
+  virtual void set_cap(int unit, Watts cap) = 0;
+
+  /// The most recently requested (clamped) cap for `unit`.
+  virtual Watts cap(int unit) const = 0;
+
+  /// Thermal design power — the per-unit hardware maximum cap.
+  virtual Watts tdp() const = 0;
+
+  /// Lowest cap the hardware will honour (RAPL refuses caps below the
+  /// minimum operating power).
+  virtual Watts min_cap() const = 0;
+};
+
+}  // namespace dps

@@ -1,0 +1,36 @@
+#include "signal/kalman.hpp"
+
+#include <stdexcept>
+
+namespace dps {
+
+Kalman1D::Kalman1D(double process_variance, double measurement_variance,
+                   double initial_estimate, double initial_variance)
+    : q_(process_variance),
+      r_(measurement_variance),
+      x_(initial_estimate),
+      p_(initial_variance),
+      initial_variance_(initial_variance) {
+  if (q_ < 0.0 || r_ < 0.0) {
+    throw std::invalid_argument("Kalman1D: variances must be non-negative");
+  }
+}
+
+double Kalman1D::update(double measurement) {
+  // Predict: random walk keeps x, inflates uncertainty by Q.
+  p_ += q_;
+  // Update.
+  k_ = p_ / (p_ + r_);
+  x_ += k_ * (measurement - x_);
+  p_ *= (1.0 - k_);
+  return x_;
+}
+
+void Kalman1D::reset(double initial_estimate, double initial_variance) {
+  x_ = initial_estimate;
+  p_ = initial_variance;
+  initial_variance_ = initial_variance;
+  k_ = 0.0;
+}
+
+}  // namespace dps

@@ -1,0 +1,48 @@
+#pragma once
+
+namespace dps {
+
+/// One-dimensional Kalman filter in the standard Welch & Bishop formulation
+/// (the paper's Section 4.3.2). DPS treats each unit's true power draw as a
+/// hidden variable observed through noisy RAPL measurements; this filter
+/// produces the estimate that is pushed into the per-unit power history.
+///
+/// Model: x_t = x_{t-1} + w  (random-walk process, w ~ N(0, Q))
+///        z_t = x_t + v      (measurement,         v ~ N(0, R))
+class Kalman1D {
+ public:
+  /// @param process_variance   Q — how much the hidden power is believed to
+  ///                           move between decision steps. Larger Q tracks
+  ///                           fast phase changes at the cost of noise.
+  /// @param measurement_variance R — variance of RAPL's reading noise.
+  /// @param initial_estimate   x_0.
+  /// @param initial_variance   P_0 — uncertainty of x_0; a large value makes
+  ///                           the first update trust the measurement.
+  Kalman1D(double process_variance, double measurement_variance,
+           double initial_estimate = 0.0, double initial_variance = 1e6);
+
+  /// One predict + update cycle; returns the posterior estimate.
+  double update(double measurement);
+
+  /// Current posterior estimate without consuming a measurement.
+  double estimate() const { return x_; }
+
+  /// Current posterior variance P.
+  double variance() const { return p_; }
+
+  /// Kalman gain used by the most recent update (0 before any update).
+  double last_gain() const { return k_; }
+
+  /// Resets the filter to a fresh initial state.
+  void reset(double initial_estimate = 0.0, double initial_variance = 1e6);
+
+ private:
+  double q_;
+  double r_;
+  double x_;
+  double p_;
+  double k_ = 0.0;
+  double initial_variance_;
+};
+
+}  // namespace dps

@@ -1,0 +1,57 @@
+#include "signal/peaks.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace dps {
+
+std::vector<Peak> find_prominent_peaks(std::span<const double> series) {
+  std::vector<Peak> peaks;
+  const std::size_t n = series.size();
+  if (n < 3) return peaks;
+
+  // Locate local maxima, treating plateaus as a single peak at their middle.
+  std::size_t i = 1;
+  while (i < n - 1) {
+    if (series[i] <= series[i - 1]) {
+      ++i;
+      continue;
+    }
+    // series[i] > series[i-1]: walk any plateau.
+    std::size_t j = i;
+    while (j < n - 1 && series[j + 1] == series[i]) ++j;
+    if (j < n - 1 && series[j + 1] < series[i]) {
+      peaks.push_back(Peak{(i + j) / 2, series[i], 0.0});
+    }
+    i = j + 1;
+  }
+
+  // Prominence: for each peak, scan left and right until a strictly higher
+  // sample (or the window edge); the base on each side is the minimum seen.
+  // Prominence = peak - max(left base, right base).
+  for (auto& peak : peaks) {
+    double left_base = peak.value;
+    for (std::size_t k = peak.index; k-- > 0;) {
+      if (series[k] > peak.value) break;
+      left_base = std::min(left_base, series[k]);
+    }
+    double right_base = peak.value;
+    for (std::size_t k = peak.index + 1; k < n; ++k) {
+      if (series[k] > peak.value) break;
+      right_base = std::min(right_base, series[k]);
+    }
+    peak.prominence = peak.value - std::max(left_base, right_base);
+  }
+  return peaks;
+}
+
+std::size_t count_prominent_peaks(std::span<const double> series,
+                                  double min_prominence) {
+  const auto peaks = find_prominent_peaks(series);
+  return static_cast<std::size_t>(
+      std::count_if(peaks.begin(), peaks.end(), [&](const Peak& p) {
+        return p.prominence > min_prominence;
+      }));
+}
+
+}  // namespace dps

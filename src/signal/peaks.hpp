@@ -1,0 +1,31 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace dps {
+
+/// A local maximum in a series together with its topographic prominence —
+/// how far the signal must descend from the peak before rising to a higher
+/// value (or hitting the window edge). This mirrors
+/// scipy.signal.peak_prominences, which the paper's artifact uses for the
+/// priority module's high-frequency detection (Palshikar-style peak
+/// detection, paper ref [32]).
+struct Peak {
+  std::size_t index;
+  double value;
+  double prominence;
+};
+
+/// Finds all strict-then-flat local maxima of `series` and computes each
+/// one's prominence. Plateaus report their middle sample, matching scipy.
+/// Windows shorter than 3 samples contain no peaks.
+std::vector<Peak> find_prominent_peaks(std::span<const double> series);
+
+/// Counts peaks whose prominence strictly exceeds `min_prominence`. This is
+/// Algorithm 2's count_prominent_peaks(power_history, threshold).
+std::size_t count_prominent_peaks(std::span<const double> series,
+                                  double min_prominence);
+
+}  // namespace dps

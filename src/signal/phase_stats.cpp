@@ -1,0 +1,60 @@
+#include "signal/phase_stats.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace dps {
+
+std::vector<PowerPhase> find_phases(std::span<const double> series,
+                                    Watts threshold) {
+  std::vector<PowerPhase> phases;
+  std::size_t start = 0;
+  Watts peak = 0.0;
+  bool in_phase = false;
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    if (series[i] > threshold) {
+      if (!in_phase) {
+        in_phase = true;
+        start = i;
+        peak = series[i];
+      } else {
+        peak = std::max(peak, series[i]);
+      }
+    } else if (in_phase) {
+      phases.push_back(PowerPhase{start, i - start, peak});
+      in_phase = false;
+    }
+  }
+  if (in_phase) {
+    phases.push_back(PowerPhase{start, series.size() - start, peak});
+  }
+  return phases;
+}
+
+PhaseStats analyze_phases(std::span<const double> series, Watts threshold) {
+  PhaseStats stats;
+  const auto phases = find_phases(series, threshold);
+  stats.phase_count = static_cast<int>(phases.size());
+  if (!phases.empty()) {
+    stats.shortest = std::numeric_limits<double>::max();
+    stats.min_peak = std::numeric_limits<double>::max();
+    double total = 0.0;
+    for (const auto& phase : phases) {
+      const auto length = static_cast<double>(phase.length);
+      stats.longest = std::max(stats.longest, length);
+      stats.shortest = std::min(stats.shortest, length);
+      total += length;
+      stats.max_peak = std::max(stats.max_peak, phase.peak);
+      stats.min_peak = std::min(stats.min_peak, phase.peak);
+    }
+    stats.mean_duration = total / static_cast<double>(phases.size());
+  }
+  for (std::size_t i = 1; i < series.size(); ++i) {
+    const double delta = series[i] - series[i - 1];
+    stats.max_rise_rate = std::max(stats.max_rise_rate, delta);
+    stats.max_fall_rate = std::max(stats.max_fall_rate, -delta);
+  }
+  return stats;
+}
+
+}  // namespace dps

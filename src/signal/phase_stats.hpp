@@ -1,0 +1,41 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "power/power_interface.hpp"
+
+namespace dps {
+
+/// One contiguous stretch of a power trace above a threshold — a "power
+/// phase" in the paper's Section 3.1 sense.
+struct PowerPhase {
+  std::size_t start_index;
+  std::size_t length;   // samples
+  Watts peak;
+};
+
+/// Summary of a trace's phase structure, the quantities Figure 2's three
+/// observations are about: phase durations, per-phase peaks, and first
+/// derivatives.
+struct PhaseStats {
+  int phase_count = 0;
+  double longest = 0.0;        // samples
+  double shortest = 0.0;       // samples
+  double mean_duration = 0.0;  // samples
+  Watts max_peak = 0.0;
+  Watts min_peak = 0.0;
+  double max_rise_rate = 0.0;  // W per sample
+  double max_fall_rate = 0.0;  // W per sample (positive magnitude)
+};
+
+/// Extracts the phases of `series` above `threshold`. Phases touching the
+/// ends of the series are included.
+std::vector<PowerPhase> find_phases(std::span<const double> series,
+                                    Watts threshold);
+
+/// Computes the Figure 2 statistics for `series` with phases defined by
+/// `threshold`.
+PhaseStats analyze_phases(std::span<const double> series, Watts threshold);
+
+}  // namespace dps

@@ -1,0 +1,72 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace dps {
+
+/// Fixed-capacity rolling window over a scalar series, oldest samples
+/// evicted first. DPS keeps one of these per unit: the "estimated power
+/// history" of Section 4.3 (default capacity 20 decision steps). Provides
+/// the statistics the priority module needs — standard deviation and an
+/// end-to-end average first derivative — without re-scanning history.
+class RollingWindow {
+ public:
+  explicit RollingWindow(std::size_t capacity);
+
+  /// Appends a sample, evicting the oldest if full.
+  void push(double value);
+
+  std::size_t size() const { return data_.size(); }
+  std::size_t capacity() const { return capacity_; }
+  bool full() const { return data_.size() == capacity_; }
+  bool empty() const { return data_.empty(); }
+
+  /// i-th sample, 0 = oldest. Negative indexing helper: at_back(0) = newest.
+  double at(std::size_t i) const;
+  double at_back(std::size_t i) const;
+
+  double mean() const;
+
+  /// Population standard deviation (matches numpy.std's default ddof=0,
+  /// which the paper's artifact uses for Algorithm 2's std threshold).
+  double stddev() const;
+
+  double min() const;
+  double max() const;
+
+  /// Average first derivative over the most recent `length` samples with
+  /// the given per-sample durations:
+  ///   (newest - sample[length-1 steps back]) / sum(last length-1 durations)
+  /// This is Algorithm 2's avg_direv. `durations` must parallel this
+  /// window's samples (same eviction). Returns 0 when fewer than 2 samples
+  /// are available.
+  double avg_derivative(const RollingWindow& durations,
+                        std::size_t length) const;
+
+  /// Snapshot of the contents, oldest first. The peak detector consumes
+  /// this contiguous view.
+  std::span<const double> contents() const;
+
+  void clear();
+
+ private:
+  std::size_t capacity_;
+  // Kept physically contiguous (memmove on eviction) so contents() can hand
+  // a span to the peak detector without copying. Windows are tiny (~20), so
+  // the shift is cheaper than ring-buffer linearization.
+  std::vector<double> data_;
+};
+
+/// Mean of a span; 0 for empty input.
+double mean_of(std::span<const double> values);
+
+/// Population standard deviation of a span; 0 for fewer than 1 sample.
+double stddev_of(std::span<const double> values);
+
+/// Harmonic mean; ignores non-positive entries would be invalid, so all
+/// values must be > 0. Returns 0 for empty input.
+double harmonic_mean(std::span<const double> values);
+
+}  // namespace dps

@@ -1,0 +1,159 @@
+#include "sim/cluster.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dps {
+
+Cluster::Cluster(std::vector<GroupSpec> groups, const PerfModel& model)
+    : model_(model) {
+  if (groups.empty()) {
+    throw std::invalid_argument("Cluster: need at least one group");
+  }
+  for (const auto& gspec : groups) {
+    if (gspec.sockets <= 0) {
+      throw std::invalid_argument("Cluster: group needs sockets > 0");
+    }
+    GroupState group;
+    group.spec = gspec.workload;
+    group.rotation = gspec.rotation;
+    group.first_unit = static_cast<int>(units_.size());
+    group.sockets = gspec.sockets;
+    group.rng = Rng(gspec.seed);
+    for (int s = 0; s < gspec.sockets; ++s) {
+      UnitState unit;
+      unit.group = static_cast<int>(groups_.size());
+      units_.push_back(unit);
+    }
+    groups_.push_back(std::move(group));
+    start_new_run(groups_.back());
+  }
+}
+
+void Cluster::start_new_run(GroupState& group) {
+  if (!group.rotation.empty()) {
+    group.current_workload_index = static_cast<int>(group.rotation_next);
+    group.rotation_next = (group.rotation_next + 1) % group.rotation.size();
+  }
+  const WorkloadSpec& spec = group.current();
+  const int active = spec.active_sockets > 0
+                         ? std::min(spec.active_sockets, group.sockets)
+                         : group.sockets;
+  group.run_start = now_;
+  group.in_gap = false;
+  for (int s = 0; s < group.sockets; ++s) {
+    auto& unit = units_[group.first_unit + s];
+    unit.progress = 0.0;
+    unit.segment_hint = 0;
+    unit.done = false;
+    if (s < active) {
+      unit.instance = WorkloadInstance(spec, group.rng);
+    } else {
+      // Inactive sockets idle for the nominal duration; completion is
+      // governed by the active sockets only.
+      unit.instance = WorkloadInstance::idle(spec.nominal_duration());
+      unit.done = true;
+    }
+  }
+}
+
+void Cluster::step(Seconds dt, std::span<const Watts> effective_caps,
+                   std::span<Watts> true_power_out) {
+  if (effective_caps.size() != units_.size() ||
+      true_power_out.size() != units_.size()) {
+    throw std::invalid_argument("Cluster::step: span size mismatch");
+  }
+
+  for (std::size_t u = 0; u < units_.size(); ++u) {
+    auto& unit = units_[u];
+    auto& group = groups_[unit.group];
+
+    Watts demand = kIdlePower;
+    if (!group.in_gap && !unit.done) {
+      demand = unit.instance.demand_at(unit.progress, &unit.segment_hint);
+      const double speed = model_.speed(demand, effective_caps[u]);
+      unit.progress += speed * dt;
+      if (unit.progress >= unit.instance.total_work()) unit.done = true;
+    }
+    const Watts drawn = group.in_gap || unit.done
+                            ? kIdlePower
+                            : model_.power_drawn(demand, effective_caps[u]);
+    unit.last_power = drawn;
+    unit.energy += drawn * dt;
+    true_power_out[u] = drawn;
+    if (!group.in_gap) group.active_energy += drawn * dt;
+  }
+
+  for (auto& group : groups_) {
+    if (!group.in_gap) group.active_time += dt;
+  }
+
+  now_ += dt;
+
+  // Group bookkeeping: finish runs whose active sockets are all done, and
+  // count down inter-run gaps.
+  for (auto& group : groups_) {
+    if (group.in_gap) {
+      group.gap_remaining -= dt;
+      if (group.gap_remaining <= 0.0) start_new_run(group);
+      continue;
+    }
+    bool all_done = true;
+    for (int s = 0; s < group.sockets; ++s) {
+      const auto& unit = units_[group.first_unit + s];
+      if (unit.instance.active() && !unit.done) {
+        all_done = false;
+        break;
+      }
+    }
+    if (all_done) {
+      group.completions.push_back(
+          Completion{group.run_start, now_, group.current_workload_index});
+      group.in_gap = true;
+      group.gap_remaining = group.current().inter_run_gap;
+    }
+  }
+}
+
+void Cluster::true_demands(std::span<Watts> out) const {
+  if (out.size() != units_.size()) {
+    throw std::invalid_argument("Cluster::true_demands: span size mismatch");
+  }
+  for (std::size_t u = 0; u < units_.size(); ++u) {
+    const auto& unit = units_[u];
+    const auto& group = groups_[unit.group];
+    out[u] = (group.in_gap || unit.done)
+                 ? kIdlePower
+                 : unit.instance.demand_at(unit.progress);
+  }
+}
+
+const std::vector<Completion>& Cluster::completions(int g) const {
+  return groups_.at(g).completions;
+}
+
+int Cluster::min_completions() const {
+  int min_runs = static_cast<int>(groups_.front().completions.size());
+  for (const auto& group : groups_) {
+    min_runs = std::min(min_runs, static_cast<int>(group.completions.size()));
+  }
+  return min_runs;
+}
+
+Watts Cluster::mean_true_power(int u) const {
+  if (now_ <= 0.0) return 0.0;
+  return units_.at(u).energy / now_;
+}
+
+Watts Cluster::group_mean_power(int g) const {
+  const auto& group = groups_.at(g);
+  if (group.active_time <= 0.0) return 0.0;
+  return group.active_energy /
+         (group.active_time * static_cast<double>(group.sockets));
+}
+
+const WorkloadSpec& Cluster::group_workload(int g) const {
+  return groups_.at(g).spec;
+}
+
+}  // namespace dps

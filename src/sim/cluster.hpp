@@ -1,0 +1,132 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "sim/perf_model.hpp"
+#include "util/rng.hpp"
+#include "workloads/instance.hpp"
+#include "workloads/spec.hpp"
+
+namespace dps {
+
+/// One completed run of a workload on its cluster group.
+struct Completion {
+  Seconds start;
+  Seconds end;
+  /// Index into the group's rotation (0 when the group runs a single
+  /// workload).
+  int workload_index = 0;
+  Seconds latency() const { return end - start; }
+};
+
+/// A group of sockets executing one workload repeatedly — the paper's
+/// "cluster" (each experiment co-runs two 5-node, 10-socket clusters).
+/// When `rotation` is non-empty the group cycles through those workloads
+/// round-robin instead, modelling a job queue submitting a mix of
+/// applications to the cluster.
+struct GroupSpec {
+  GroupSpec() = default;
+  GroupSpec(WorkloadSpec workload_, int sockets_ = 10,
+            std::uint64_t seed_ = 1, std::vector<WorkloadSpec> rotation_ = {})
+      : workload(std::move(workload_)),
+        sockets(sockets_),
+        seed(seed_),
+        rotation(std::move(rotation_)) {}
+
+  WorkloadSpec workload;
+  int sockets = 10;
+  std::uint64_t seed = 1;
+  std::vector<WorkloadSpec> rotation;
+};
+
+/// Simulated overprovisioned system: all power-capping units (sockets) of
+/// all cluster groups. Each decision step the engine hands in the effective
+/// per-unit caps; the cluster advances every unit's workload progress at the
+/// model's speed, reports true power, coordinates per-group run completion
+/// (a run finishes when its slowest active socket finishes — Spark stages
+/// and MPI ranks synchronize), and schedules the next run after the
+/// workload's inter-run gap.
+class Cluster {
+ public:
+  Cluster(std::vector<GroupSpec> groups, const PerfModel& model = PerfModel());
+
+  int total_units() const { return static_cast<int>(units_.size()); }
+  int num_groups() const { return static_cast<int>(groups_.size()); }
+
+  /// Advances the whole system by `dt`, writing each unit's true power draw
+  /// into `true_power_out` (size must equal total_units()).
+  void step(Seconds dt, std::span<const Watts> effective_caps,
+            std::span<Watts> true_power_out);
+
+  /// Instantaneous true (uncapped) power demand of every unit; this is what
+  /// the oracle manager is allowed to see and what satisfaction's
+  /// denominator integrates.
+  void true_demands(std::span<Watts> out) const;
+
+  /// Completed runs of group `g` so far.
+  const std::vector<Completion>& completions(int g) const;
+
+  /// Runs completed by the group with the fewest completions.
+  int min_completions() const;
+
+  /// Simulated time so far.
+  Seconds now() const { return now_; }
+
+  /// Group index that unit `u` belongs to.
+  int group_of(int u) const { return units_.at(u).group; }
+
+  /// Average true power of unit `u` over the whole simulation (energy /
+  /// time); used for satisfaction.
+  Watts mean_true_power(int u) const;
+
+  /// Average true power over the *active* (non-gap) portion of group `g`'s
+  /// runs so far.
+  Watts group_mean_power(int g) const;
+
+  const WorkloadSpec& group_workload(int g) const;
+
+ private:
+  struct UnitState {
+    int group = 0;
+    WorkloadInstance instance = WorkloadInstance::idle(1.0);
+    Seconds progress = 0.0;
+    std::size_t segment_hint = 0;  // amortizes demand lookups
+    bool done = false;  // finished its instance, waiting for the group
+    Joules energy = 0.0;
+    Watts last_power = 0.0;
+  };
+
+  struct GroupState {
+    WorkloadSpec spec;           // single-workload mode
+    std::vector<WorkloadSpec> rotation;
+    std::size_t rotation_next = 0;
+    int current_workload_index = 0;
+    int first_unit = 0;
+    int sockets = 0;
+    Rng rng;
+    std::vector<Completion> completions;
+    Seconds run_start = 0.0;
+    Seconds gap_remaining = 0.0;
+    bool in_gap = false;
+    Joules active_energy = 0.0;
+    Seconds active_time = 0.0;
+
+    const WorkloadSpec& current() const {
+      return rotation.empty()
+                 ? spec
+                 : rotation[static_cast<std::size_t>(current_workload_index)];
+    }
+  };
+
+  void start_new_run(GroupState& group);
+
+  std::vector<GroupState> groups_;
+  std::vector<UnitState> units_;
+  PerfModel model_;
+  Seconds now_ = 0.0;
+};
+
+}  // namespace dps

@@ -1,0 +1,125 @@
+#include "sim/engine.hpp"
+
+#include "core/dps_manager.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <numeric>
+#include <stdexcept>
+
+namespace dps {
+
+SimulationEngine::SimulationEngine(const EngineConfig& config)
+    : config_(config) {
+  if (config_.dt <= 0.0 || config_.total_budget <= 0.0 ||
+      config_.target_completions < 0) {
+    throw std::invalid_argument("EngineConfig: invalid parameters");
+  }
+}
+
+EngineResult SimulationEngine::run(Cluster& cluster, SimulatedRapl& rapl,
+                                   PowerManager& manager) const {
+  const int n = cluster.total_units();
+  if (rapl.num_units() != n) {
+    throw std::invalid_argument("engine: RAPL/cluster unit count mismatch");
+  }
+
+  ManagerContext ctx;
+  ctx.num_units = n;
+  ctx.total_budget = config_.total_budget;
+  ctx.tdp = rapl.tdp();
+  ctx.min_cap = rapl.min_cap();
+  ctx.dt = config_.dt;
+  manager.reset(ctx);
+
+  // All managers start from the constant allocation, as on a freshly
+  // configured system.
+  std::vector<Watts> caps(static_cast<std::size_t>(n), ctx.constant_cap());
+  for (int u = 0; u < n; ++u) rapl.set_cap(u, caps[u]);
+
+  std::vector<Watts> measured(static_cast<std::size_t>(n), 0.0);
+  std::vector<Watts> true_power(static_cast<std::size_t>(n), 0.0);
+  std::vector<Watts> demands(static_cast<std::size_t>(n), 0.0);
+
+  EngineResult result;
+  if (config_.record_trace) {
+    result.trace = std::make_shared<TraceRecorder>(n);
+  }
+
+  Watts current_budget = config_.total_budget;
+  std::size_t next_change = 0;
+
+  int steps = 0;
+  while (cluster.min_completions() < config_.target_completions &&
+         cluster.now() < config_.max_time) {
+    // Deliver any scheduled budget changes that have come due.
+    while (next_change < config_.budget_schedule.size() &&
+           cluster.now() >= config_.budget_schedule[next_change].at) {
+      current_budget = config_.budget_schedule[next_change].total_budget;
+      manager.update_budget(current_budget);
+      ++next_change;
+    }
+    // Advance the system one period under the currently enforced caps.
+    std::vector<Watts> effective(static_cast<std::size_t>(n));
+    for (int u = 0; u < n; ++u) effective[u] = rapl.effective_cap(u);
+    cluster.true_demands(demands);
+    cluster.step(config_.dt, effective, true_power);
+    for (int u = 0; u < n; ++u) rapl.record(u, true_power[u], config_.dt);
+    rapl.advance_step();
+
+    // Controller turn: read noisy power, decide, actuate.
+    for (int u = 0; u < n; ++u) measured[u] = rapl.read_power(u);
+    manager.decide(measured, caps);
+    Watts cap_sum = 0.0;
+    for (int u = 0; u < n; ++u) {
+      rapl.set_cap(u, caps[u]);
+      cap_sum += caps[u];
+    }
+    result.peak_cap_sum = std::max(result.peak_cap_sum, cap_sum);
+    if (cap_sum > current_budget + 1e-6) {
+      result.max_budget_overshoot =
+          std::max(result.max_budget_overshoot, cap_sum - current_budget);
+      ++result.overshoot_steps;
+    }
+
+    if (result.trace) {
+      // The artifact logs each unit's DPS priority at every decision.
+      const auto* dps = dynamic_cast<const DpsManager*>(&manager);
+      for (int u = 0; u < n; ++u) {
+        const int priority =
+            dps ? (dps->priorities().high_priority(u) ? 1 : 0) : -1;
+        result.trace->record(
+            u, TraceSample{cluster.now(), true_power[u], measured[u], caps[u],
+                           demands[u], priority});
+      }
+    }
+    ++steps;
+  }
+
+  result.steps = steps;
+  result.elapsed = cluster.now();
+  result.completions.reserve(static_cast<std::size_t>(cluster.num_groups()));
+  for (int g = 0; g < cluster.num_groups(); ++g) {
+    result.completions.push_back(cluster.completions(g));
+    result.group_mean_power.push_back(cluster.group_mean_power(g));
+  }
+  return result;
+}
+
+EngineResult run_pair(const WorkloadSpec& a, const WorkloadSpec& b,
+                      PowerManager& manager, const EngineConfig& config,
+                      std::uint64_t seed, const PerfModel& model) {
+  std::vector<GroupSpec> groups;
+  groups.push_back(GroupSpec{a, 10, seed});
+  groups.push_back(GroupSpec{b, 10, seed ^ 0xabcdef1234ULL});
+  Cluster cluster(std::move(groups), model);
+
+  RaplSimConfig rapl_config;
+  rapl_config.noise_seed = seed * 977 + 13;
+  SimulatedRapl rapl(cluster.total_units(), rapl_config);
+
+  SimulationEngine engine(config);
+  return engine.run(cluster, rapl, manager);
+}
+
+}  // namespace dps

@@ -1,0 +1,85 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "managers/manager.hpp"
+#include "power/rapl_sim.hpp"
+#include "sim/cluster.hpp"
+#include "sim/trace.hpp"
+
+namespace dps {
+
+/// A scheduled runtime change of the cluster-wide budget (operator action
+/// or facility power emergency).
+struct BudgetChange {
+  Seconds at;
+  Watts total_budget;
+};
+
+/// Parameters of one simulated experiment run.
+struct EngineConfig {
+  /// Decision-loop period (the paper's one-second loop).
+  Seconds dt = 1.0;
+  /// Cluster-wide power budget. The paper enforces 66.7 % of TDP, i.e.
+  /// 110 W per 165 W socket.
+  Watts total_budget = 2200.0;
+  /// Stop once every group has completed at least this many runs.
+  int target_completions = 3;
+  /// Hard stop even if target completions are not reached.
+  Seconds max_time = 200000.0;
+  /// Record per-step telemetry (costs memory; off for big sweeps).
+  bool record_trace = false;
+  /// Runtime budget changes, sorted by time; each is delivered to the
+  /// manager via PowerManager::update_budget when simulated time reaches
+  /// it.
+  std::vector<BudgetChange> budget_schedule;
+};
+
+/// Outcome of one simulated experiment run.
+struct EngineResult {
+  /// Completed runs per group, in group order.
+  std::vector<std::vector<Completion>> completions;
+  /// Mean per-socket true power of each group over its active time.
+  std::vector<Watts> group_mean_power;
+  Seconds elapsed = 0.0;
+  int steps = 0;
+  /// Greatest sum of caps the manager ever requested; tests assert it never
+  /// exceeds the budget.
+  Watts peak_cap_sum = 0.0;
+  /// Largest amount by which the requested cap sum exceeded the budget *in
+  /// effect at that step* — nonzero only transiently right after a budget
+  /// cut (the manager sheds on its next decision).
+  Watts max_budget_overshoot = 0.0;
+  /// Steps on which the cap sum exceeded the in-effect budget.
+  int overshoot_steps = 0;
+  /// Present only when EngineConfig::record_trace was set.
+  std::shared_ptr<TraceRecorder> trace;
+};
+
+/// Drives the closed loop of Figure 3: each step the manager reads noisy
+/// power through the simulated RAPL, decides new caps, the caps are applied
+/// (with any actuation delay), and the cluster advances one period under
+/// the enforced caps.
+class SimulationEngine {
+ public:
+  explicit SimulationEngine(const EngineConfig& config = {});
+
+  EngineResult run(Cluster& cluster, SimulatedRapl& rapl,
+                   PowerManager& manager) const;
+
+  const EngineConfig& config() const { return config_; }
+
+ private:
+  EngineConfig config_;
+};
+
+/// Convenience: builds the paper's standard two-cluster system (10 sockets
+/// per cluster) and runs `manager` on it until both groups complete
+/// `target_completions` runs.
+EngineResult run_pair(const WorkloadSpec& a, const WorkloadSpec& b,
+                      PowerManager& manager, const EngineConfig& config,
+                      std::uint64_t seed = 42,
+                      const PerfModel& model = PerfModel());
+
+}  // namespace dps

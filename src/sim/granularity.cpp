@@ -1,0 +1,66 @@
+#include "sim/granularity.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dps {
+
+UnitAggregator::UnitAggregator(int num_sockets, int sockets_per_unit)
+    : num_sockets_(num_sockets), sockets_per_unit_(sockets_per_unit) {
+  if (num_sockets <= 0 || sockets_per_unit <= 0 ||
+      num_sockets % sockets_per_unit != 0) {
+    throw std::invalid_argument(
+        "UnitAggregator: num_sockets must be a positive multiple of "
+        "sockets_per_unit");
+  }
+  num_units_ = num_sockets / sockets_per_unit;
+}
+
+void UnitAggregator::aggregate(std::span<const Watts> socket_values,
+                               std::span<Watts> unit_values) const {
+  if (static_cast<int>(socket_values.size()) != num_sockets_ ||
+      static_cast<int>(unit_values.size()) != num_units_) {
+    throw std::invalid_argument("UnitAggregator::aggregate: size mismatch");
+  }
+  for (int u = 0; u < num_units_; ++u) {
+    Watts sum = 0.0;
+    for (int s = 0; s < sockets_per_unit_; ++s) {
+      sum += socket_values[u * sockets_per_unit_ + s];
+    }
+    unit_values[u] = sum;
+  }
+}
+
+void UnitAggregator::split_caps(std::span<const Watts> unit_caps,
+                                std::span<const Watts> socket_power,
+                                std::span<Watts> socket_caps,
+                                double floor_fraction) const {
+  if (static_cast<int>(unit_caps.size()) != num_units_ ||
+      static_cast<int>(socket_power.size()) != num_sockets_ ||
+      static_cast<int>(socket_caps.size()) != num_sockets_) {
+    throw std::invalid_argument("UnitAggregator::split_caps: size mismatch");
+  }
+  for (int u = 0; u < num_units_; ++u) {
+    const Watts unit_cap = unit_caps[u];
+    const Watts equal_share = unit_cap / sockets_per_unit_;
+    const Watts floor = equal_share * floor_fraction;
+
+    // Proportional share above the floor.
+    Watts power_sum = 0.0;
+    for (int s = 0; s < sockets_per_unit_; ++s) {
+      power_sum += socket_power[u * sockets_per_unit_ + s];
+    }
+    const Watts distributable =
+        unit_cap - floor * static_cast<double>(sockets_per_unit_);
+    for (int s = 0; s < sockets_per_unit_; ++s) {
+      const int index = u * sockets_per_unit_ + s;
+      const double weight =
+          power_sum > 0.0
+              ? socket_power[index] / power_sum
+              : 1.0 / static_cast<double>(sockets_per_unit_);
+      socket_caps[index] = floor + std::max(0.0, distributable) * weight;
+    }
+  }
+}
+
+}  // namespace dps

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "power/power_interface.hpp"
+
+namespace dps {
+
+/// Power-capping granularity adapter (paper Section 3: "different machines
+/// may support different power management scales (cores, sockets, or
+/// nodes)"). Groups `sockets_per_unit` physical sockets into one
+/// manager-facing unit: the manager sees aggregated power and assigns one
+/// cap per unit; the adapter splits each unit cap across its sockets
+/// proportionally to their recent draw (with a guaranteed floor share so a
+/// momentarily-idle socket is not starved by its busy sibling — this
+/// mirrors how node-level enforcement actually behaves, where the node's
+/// firmware balances the per-socket limits).
+class UnitAggregator {
+ public:
+  /// `num_sockets` must be a multiple of `sockets_per_unit`.
+  UnitAggregator(int num_sockets, int sockets_per_unit);
+
+  int num_units() const { return num_units_; }
+  int num_sockets() const { return num_sockets_; }
+  int sockets_per_unit() const { return sockets_per_unit_; }
+
+  /// Sums per-socket values (power, demand) into per-unit values.
+  void aggregate(std::span<const Watts> socket_values,
+                 std::span<Watts> unit_values) const;
+
+  /// Splits per-unit caps into per-socket caps, proportional to each
+  /// socket's recent power but never below `floor_fraction` of the equal
+  /// share.
+  void split_caps(std::span<const Watts> unit_caps,
+                  std::span<const Watts> socket_power,
+                  std::span<Watts> socket_caps,
+                  double floor_fraction = 0.4) const;
+
+ private:
+  int num_sockets_;
+  int sockets_per_unit_;
+  int num_units_;
+};
+
+}  // namespace dps

@@ -1,0 +1,38 @@
+#include "sim/perf_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace dps {
+
+PerfModel::PerfModel(const PerfModelConfig& config) : config_(config) {
+  if (config_.static_power < 0.0 || config_.exponent <= 0.0 ||
+      config_.min_freq_ratio <= 0.0 || config_.min_freq_ratio > 1.0) {
+    throw std::invalid_argument("PerfModel: invalid configuration");
+  }
+}
+
+double PerfModel::speed(Watts demand, Watts cap) const {
+  if (demand <= cap) return 1.0;
+  const Watts dyn_demand = demand - config_.static_power;
+  if (dyn_demand <= 0.0) return 1.0;  // demand is all static: cap is moot
+  const Watts dyn_allowed = std::max(0.0, cap - config_.static_power);
+  const double ratio =
+      std::pow(dyn_allowed / dyn_demand, 1.0 / config_.exponent);
+  return std::clamp(ratio, config_.min_freq_ratio, 1.0);
+}
+
+Watts PerfModel::power_drawn(Watts demand, Watts cap) const {
+  if (demand <= cap) return demand;
+  // Frequency floor: below it, RAPL cannot push power lower.
+  return std::max(cap, floor_power(demand));
+}
+
+Watts PerfModel::floor_power(Watts demand) const {
+  const Watts dyn_demand = std::max(0.0, demand - config_.static_power);
+  return config_.static_power +
+         dyn_demand * std::pow(config_.min_freq_ratio, config_.exponent);
+}
+
+}  // namespace dps

@@ -1,0 +1,53 @@
+#include "sim/trace.hpp"
+
+#include "util/csv.hpp"
+
+namespace dps {
+
+TraceRecorder::TraceRecorder(int num_units)
+    : series_(static_cast<std::size_t>(num_units)) {}
+
+void TraceRecorder::record(int unit, const TraceSample& sample) {
+  series_.at(static_cast<std::size_t>(unit)).push_back(sample);
+}
+
+const std::vector<TraceSample>& TraceRecorder::series(int unit) const {
+  return series_.at(static_cast<std::size_t>(unit));
+}
+
+void TraceRecorder::write_csv(const std::string& path) const {
+  CsvWriter csv(path);
+  csv.write_header({"time", "unit", "true_power", "measured_power", "cap",
+                    "demand", "priority"});
+  for (std::size_t u = 0; u < series_.size(); ++u) {
+    for (const auto& s : series_[u]) {
+      csv.write_row({format_double(s.time), std::to_string(u),
+                     format_double(s.true_power),
+                     format_double(s.measured_power), format_double(s.cap),
+                     format_double(s.demand), std::to_string(s.priority)});
+    }
+  }
+}
+
+std::vector<double> TraceRecorder::measured_of(int unit) const {
+  std::vector<double> out;
+  out.reserve(series(unit).size());
+  for (const auto& s : series(unit)) out.push_back(s.measured_power);
+  return out;
+}
+
+std::vector<double> TraceRecorder::true_power_of(int unit) const {
+  std::vector<double> out;
+  out.reserve(series(unit).size());
+  for (const auto& s : series(unit)) out.push_back(s.true_power);
+  return out;
+}
+
+std::vector<double> TraceRecorder::cap_of(int unit) const {
+  std::vector<double> out;
+  out.reserve(series(unit).size());
+  for (const auto& s : series(unit)) out.push_back(s.cap);
+  return out;
+}
+
+}  // namespace dps

@@ -1,0 +1,38 @@
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+
+namespace dps {
+
+/// Minimal INI-style configuration parser (the C++ counterpart of the
+/// paper artifact's config.py). Supports `[section]` headers, `key = value`
+/// pairs, `#` / `;` comments, and blank lines. Keys outside any section go
+/// into the "" section. Whitespace around keys and values is trimmed.
+class IniFile {
+ public:
+  /// Parses the given text. Throws std::runtime_error on malformed lines.
+  static IniFile parse(const std::string& text);
+
+  /// Reads and parses a file. Throws std::runtime_error if unreadable.
+  static IniFile load(const std::string& path);
+
+  std::optional<std::string> get(const std::string& section,
+                                 const std::string& key) const;
+  std::optional<double> get_double(const std::string& section,
+                                   const std::string& key) const;
+  std::optional<long> get_int(const std::string& section,
+                              const std::string& key) const;
+  std::optional<bool> get_bool(const std::string& section,
+                               const std::string& key) const;
+
+  bool has_section(const std::string& section) const;
+  std::size_t size() const { return values_.size(); }
+
+ private:
+  // (section, key) -> value
+  std::map<std::pair<std::string, std::string>, std::string> values_;
+};
+
+}  // namespace dps

@@ -1,0 +1,58 @@
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace dps {
+
+/// Deterministic, seedable PRNG (xoshiro256++) used everywhere in the
+/// simulator so that every experiment is reproducible from a single seed.
+/// Not cryptographic; chosen for speed and statistical quality in Monte
+/// Carlo style simulation.
+class Rng {
+ public:
+  /// Seeds the four 64-bit lanes from `seed` via SplitMix64 so that nearby
+  /// seeds still produce decorrelated streams.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Next raw 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  std::uint64_t uniform_int(std::uint64_t n);
+
+  /// Standard normal via Box-Muller (cached second deviate).
+  double normal();
+
+  /// Normal with the given mean and standard deviation.
+  double normal(double mean, double stddev);
+
+  /// Splits off an independent child stream; used to give each simulated
+  /// unit / workload run its own stream without coupling their sequences.
+  Rng split();
+
+  // UniformRandomBitGenerator interface so <algorithm> shuffles work.
+  using result_type = std::uint64_t;
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+  result_type operator()() { return next_u64(); }
+
+ private:
+  std::uint64_t s_[4];
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+/// Fisher-Yates shuffle of indices [0, n); returns the permuted order.
+/// The stateless module uses this for its randomized cap-increase loop.
+void shuffle_indices(Rng& rng, std::uint32_t* idx, std::uint32_t n);
+
+}  // namespace dps

@@ -1,0 +1,80 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+
+namespace dps {
+namespace {
+
+bool looks_numeric(const std::string& cell) {
+  if (cell.empty()) return false;
+  std::size_t i = 0;
+  if (cell[0] == '-' || cell[0] == '+') i = 1;
+  bool digit_seen = false;
+  for (; i < cell.size(); ++i) {
+    char c = cell[i];
+    if (c >= '0' && c <= '9') {
+      digit_seen = true;
+    } else if (c != '.' && c != '%' && c != 'x') {
+      return false;
+    }
+  }
+  return digit_seen;
+}
+
+}  // namespace
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void Table::add_row(std::vector<std::string> row) {
+  if (row.size() > header_.size()) {
+    throw std::invalid_argument("Table::add_row: row wider than header");
+  }
+  row.resize(header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string Table::render() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto render_row = [&](const std::vector<std::string>& row,
+                        bool align_numeric) {
+    std::string line = "|";
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      const std::size_t pad = widths[c] - row[c].size();
+      line += ' ';
+      if (align_numeric && looks_numeric(row[c])) {
+        line += std::string(pad, ' ') + row[c];
+      } else {
+        line += row[c] + std::string(pad, ' ');
+      }
+      line += " |";
+    }
+    return line + "\n";
+  };
+
+  std::string out = render_row(header_, false);
+  std::string sep = "|";
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    sep += std::string(widths[c] + 2, '-') + "|";
+  }
+  out += sep + "\n";
+  for (const auto& row : rows_) out += render_row(row, true);
+  return out;
+}
+
+void Table::print() const {
+  const std::string s = render();
+  std::fwrite(s.data(), 1, s.size(), stdout);
+}
+
+}  // namespace dps

@@ -1,0 +1,32 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace dps {
+
+/// Console table printer used by every bench binary to print the rows the
+/// paper's tables and figures report. Columns are auto-sized; numeric-looking
+/// cells are right-aligned.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends a data row. Rows shorter than the header are padded with
+  /// empty cells; longer rows are an error.
+  void add_row(std::vector<std::string> row);
+
+  /// Renders the full table (header, separator, rows) as a string.
+  std::string render() const;
+
+  /// Renders and writes to stdout.
+  void print() const;
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace dps

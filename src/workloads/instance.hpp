@@ -1,0 +1,52 @@
+#pragma once
+
+#include <vector>
+
+#include "util/rng.hpp"
+#include "workloads/spec.hpp"
+
+namespace dps {
+
+/// Power demand of a socket that is not executing anything: OS + uncore
+/// background draw.
+inline constexpr Watts kIdlePower = 22.0;
+
+/// One realized execution of a WorkloadSpec on one socket: segment durations
+/// and demand levels perturbed by the spec's jitter parameters, plus a
+/// per-socket start offset. Immutable after construction; the simulator owns
+/// the progress cursor.
+class WorkloadInstance {
+ public:
+  /// Builds an *active* instance from the spec with jitter drawn from `rng`.
+  WorkloadInstance(const WorkloadSpec& spec, Rng& rng);
+
+  /// Builds an idle (inactive-socket) instance that completes after
+  /// `duration` seconds drawing idle power. Used for sockets beyond the
+  /// spec's active_sockets.
+  static WorkloadInstance idle(Seconds duration);
+
+  /// Demand at the given progress point; the pre-run start offset appears
+  /// as idle demand at the beginning.
+  Watts demand_at(Seconds progress) const;
+
+  /// Same, but resumes the segment scan from `*hint` (a segment index kept
+  /// by the caller). Progress is monotone within a run, so this makes the
+  /// per-step lookup O(1) amortized instead of O(#segments).
+  Watts demand_at(Seconds progress, std::size_t* hint) const;
+
+  /// Total seconds of (uncapped-speed) work including the start offset.
+  Seconds total_work() const { return total_work_; }
+
+  /// Whether this instance represents real work (false for idle filler).
+  bool active() const { return active_; }
+
+ private:
+  WorkloadInstance() = default;
+
+  std::vector<Segment> segments_;
+  std::vector<Seconds> segment_starts_;  // prefix sums, parallel to segments_
+  Seconds total_work_ = 0.0;
+  bool active_ = true;
+};
+
+}  // namespace dps

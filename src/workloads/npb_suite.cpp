@@ -1,0 +1,79 @@
+#include "workloads/npb_suite.hpp"
+
+#include <map>
+#include <stdexcept>
+
+namespace dps {
+namespace {
+
+/// Sustained-demand NPB profile: fast startup ramp, a long plateau whose
+/// level wobbles slightly between solver sweeps, fast teardown. `nominal`
+/// is the uncapped duration; under the 110 W constant cap the plateau runs
+/// at reduced speed and stretches to roughly the Table 4 latency.
+WorkloadSpec make_npb(std::string name, Seconds nominal, Watts plateau) {
+  WorkloadSpec spec;
+  spec.name = std::move(name);
+  spec.power_type = PowerType::kNpb;
+  spec.inter_run_gap = 12.0;
+  spec.duration_jitter = 0.015;  // HPC runs vary far less than Spark
+  spec.power_jitter = 0.01;
+  spec.socket_skew = 1.0;
+  const Seconds body = nominal - 6.0;
+  // Split the plateau into thirds with ±3 W sweep-to-sweep variation so the
+  // trace is not a perfectly flat line (real NPB power breathes slightly).
+  spec.segments = {
+      ramp(3.0, 26, plateau),
+      hold(body / 3.0, plateau),
+      ramp(2.0, plateau, plateau - 4),
+      hold(body / 3.0, plateau - 4),
+      ramp(2.0, plateau - 4, plateau + 2),
+      hold(body / 3.0, plateau + 2),
+      ramp(3.0, plateau + 2, 30),
+  };
+  return spec;
+}
+
+std::map<std::string, PaperWorkloadStats> paper_table4() {
+  return {
+      {"BT", {3509.29, 0.995}}, {"CG", {1839.00, 0.994}},
+      {"EP", {6019.07, 0.998}}, {"FT", {152.83, 0.991}},
+      {"IS", {416.80, 0.992}},  {"LU", {1895.89, 0.996}},
+      {"MG", {143.82, 0.990}},  {"SP", {3563.23, 0.995}},
+  };
+}
+
+}  // namespace
+
+std::vector<WorkloadSpec> npb_suite() {
+  // Nominal (uncapped) durations are the Table 4 latencies divided by the
+  // perf model's speed at a 110 W cap for each plateau level, so the capped
+  // runs land near the published numbers.
+  return {
+      make_npb("BT", 2865, 155), make_npb("CG", 1593, 140),
+      make_npb("EP", 4791, 162), make_npb("FT", 127, 150),
+      make_npb("IS", 364, 138),  make_npb("LU", 1531, 158),
+      make_npb("MG", 121, 148),  make_npb("SP", 2942, 152),
+  };
+}
+
+WorkloadSpec npb_workload(const std::string& name) {
+  for (auto& spec : npb_suite()) {
+    if (spec.name == name) return spec;
+  }
+  throw std::invalid_argument("unknown NPB workload: " + name);
+}
+
+PaperWorkloadStats npb_paper_stats(const std::string& name) {
+  const auto table = paper_table4();
+  const auto it = table.find(name);
+  if (it == table.end()) {
+    throw std::invalid_argument("no Table 4 stats for: " + name);
+  }
+  return it->second;
+}
+
+std::vector<std::string> npb_names() {
+  return {"BT", "CG", "EP", "FT", "IS", "LU", "MG", "SP"};
+}
+
+}  // namespace dps

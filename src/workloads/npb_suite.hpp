@@ -1,0 +1,29 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "workloads/spec.hpp"
+
+namespace dps {
+
+/// Synthetic power-demand models for the 8 NAS Parallel Benchmarks of the
+/// paper's Table 4 (BT, CG, EP, FT, IS, LU, MG, SP). All of them draw high
+/// power for over 99 % of their runtime (paper Section 5.2); they differ in
+/// duration and in sustained demand level (EP is the most compute-bound,
+/// CG/IS the most memory-bound). Because every NPB run is followed by a
+/// short scheduling gap, the short benchmarks (FT, MG) appear *phased* to a
+/// power manager over a long horizon — the effect Section 6.3 calls out.
+std::vector<WorkloadSpec> npb_suite();
+
+/// Lookup by Table 4 abbreviation ("BT", "CG", ...). Throws
+/// std::invalid_argument for unknown names.
+WorkloadSpec npb_workload(const std::string& name);
+
+/// The paper's published Table 4 numbers for an NPB workload.
+PaperWorkloadStats npb_paper_stats(const std::string& name);
+
+/// Table 4 order of the benchmark names.
+std::vector<std::string> npb_names();
+
+}  // namespace dps

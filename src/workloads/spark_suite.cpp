@@ -1,0 +1,208 @@
+#include "workloads/spark_suite.hpp"
+
+#include <map>
+#include <stdexcept>
+
+namespace dps {
+namespace {
+
+/// Appends `block` to `segments` `count` times.
+void repeat(std::vector<Segment>& segments, const std::vector<Segment>& block,
+            int count) {
+  for (int i = 0; i < count; ++i) {
+    segments.insert(segments.end(), block.begin(), block.end());
+  }
+}
+
+/// One short high-power burst cycle used by the high-frequency workloads
+/// (Linear, LR): phases shorter than 10 s as in Figure 2c.
+std::vector<Segment> fast_cycle(Watts peak, Watts low) {
+  return {ramp(0.5, low, peak), hold(2.5, peak), ramp(0.5, peak, low),
+          hold(3.5, low)};
+}
+
+WorkloadSpec make_low_power(std::string name, Seconds duration, Watts work,
+                            Watts spike_peak, Seconds spike_hold) {
+  WorkloadSpec spec;
+  spec.name = std::move(name);
+  spec.power_type = PowerType::kLow;
+  spec.active_sockets = 1;
+  spec.inter_run_gap = 6.0;
+  const Seconds fixed = 2.0 + 1.2 + spike_hold + 1.2 + 4.0;
+  const Seconds body = duration - fixed;
+  spec.segments = {
+      ramp(2.0, 28, work),
+      hold(body * 0.45, work),
+      ramp(1.2, work, spike_peak),
+      hold(spike_hold, spike_peak),
+      ramp(1.2, spike_peak, work * 0.9),
+      hold(body * 0.55, work * 0.9),
+      ramp(4.0, work * 0.9, 30),
+  };
+  return spec;
+}
+
+WorkloadSpec make_wordcount() {
+  return make_low_power("Wordcount", 44.36, 64, 112, 0.05);
+}
+
+WorkloadSpec make_sort() { return make_low_power("Sort", 38.48, 58, 111, 0.03); }
+
+WorkloadSpec make_terasort() {
+  return make_low_power("Terasort", 54.53, 66, 111, 0.02);
+}
+
+WorkloadSpec make_repartition() {
+  return make_low_power("Repartition", 44.92, 70, 112, 0.06);
+}
+
+WorkloadSpec make_kmeans() {
+  WorkloadSpec spec;
+  spec.name = "Kmeans";
+  spec.power_type = PowerType::kMid;
+  spec.segments = {ramp(4, 30, 70), hold(36, 70)};  // input load
+  // Iterative refinement: ~30 s compute phases at 150 W, ~30 s shuffle lows.
+  const std::vector<Segment> iter = {ramp(3, 55, 150), hold(30, 150),
+                                     ramp(4, 150, 55), hold(31, 55)};
+  repeat(spec.segments, iter, 20);
+  spec.segments.push_back(ramp(6, 55, 40));
+  spec.segments.push_back(hold(14, 40));
+  return spec;
+}
+
+WorkloadSpec make_lda() {
+  WorkloadSpec spec;
+  spec.name = "LDA";
+  spec.power_type = PowerType::kMid;
+  // Figure 2a: a very long opening phase with a fast rise (3 s) and a slow
+  // fall (20 s), then long training iterations.
+  spec.segments = {ramp(3, 25, 160), hold(120, 158), ramp(20, 160, 70),
+                   hold(45, 70)};
+  const std::vector<Segment> iter = {ramp(4, 70, 150), hold(70, 150),
+                                     ramp(15, 150, 75), hold(70, 75)};
+  repeat(spec.segments, iter, 6);
+  return spec;
+}
+
+WorkloadSpec make_linear() {
+  WorkloadSpec spec;
+  spec.name = "Linear";
+  spec.power_type = PowerType::kMid;
+  spec.segments = {ramp(3, 30, 60), hold(22, 60)};
+  // Figure 2c-style high-frequency bursts (7 s period) between long scans.
+  std::vector<Segment> block;
+  repeat(block, fast_cycle(135, 60), 8);
+  block.push_back(hold(90, 55));
+  repeat(spec.segments, block, 6);
+  spec.segments.push_back(hold(25, 45));
+  return spec;
+}
+
+WorkloadSpec make_lr() {
+  WorkloadSpec spec;
+  spec.name = "LR";
+  spec.power_type = PowerType::kMid;
+  spec.segments = {ramp(3, 30, 58), hold(17, 58)};
+  std::vector<Segment> block;
+  repeat(block, fast_cycle(138, 58), 7);
+  block.push_back(hold(62, 52));
+  repeat(spec.segments, block, 4);
+  return spec;
+}
+
+WorkloadSpec make_bayes() {
+  WorkloadSpec spec;
+  spec.name = "Bayes";
+  spec.power_type = PowerType::kMid;
+  // Figure 2b: mid-length phases with diverse peaks (165 W vs 110 W) and
+  // diverse ramp speeds (fast around second 50-75, slow around 195-225).
+  spec.segments = {ramp(2, 40, 100), hold(14, 95), ramp(2, 95, 45),
+                   hold(16, 45)};
+  const std::vector<Segment> diverse = {
+      ramp(2, 45, 165),  hold(14, 165), ramp(3, 165, 60),  hold(20, 60),
+      ramp(5, 60, 112),  hold(11, 112), ramp(6, 112, 55),  hold(20, 55),
+      ramp(2, 55, 140),  hold(16, 140), ramp(8, 140, 60),  hold(24, 60),
+  };
+  repeat(spec.segments, diverse, 2);
+  spec.segments.push_back(ramp(2, 60, 130));
+  spec.segments.push_back(hold(14, 130));
+  spec.segments.push_back(ramp(6, 130, 40));
+  spec.segments.push_back(hold(14, 40));
+  return spec;
+}
+
+WorkloadSpec make_rf() {
+  WorkloadSpec spec;
+  spec.name = "RF";
+  spec.power_type = PowerType::kMid;
+  spec.segments = {ramp(3, 35, 75), hold(20, 75)};
+  // Tree-building rounds: moderate 20-25 s phases at varied peaks.
+  const std::vector<Segment> round = {
+      ramp(2, 65, 148), hold(17, 148), ramp(4, 148, 65), hold(21, 65),
+      ramp(2, 65, 128), hold(14, 128), ramp(3, 128, 60), hold(23, 60),
+  };
+  repeat(spec.segments, round, 4);
+  spec.segments.push_back(ramp(5, 60, 40));
+  spec.segments.push_back(hold(10, 40));
+  return spec;
+}
+
+WorkloadSpec make_gmm() {
+  WorkloadSpec spec;
+  spec.name = "GMM";
+  spec.power_type = PowerType::kHigh;
+  spec.segments = {ramp(4, 30, 80), hold(40, 80)};
+  // Long EM iterations: sustained high power with occasional dips, ~69 % of
+  // time above 110 W overall.
+  const std::vector<Segment> em = {ramp(3, 60, 155), hold(180, 152),
+                                   ramp(6, 155, 60), hold(70, 60)};
+  repeat(spec.segments, em, 8);
+  spec.segments.push_back(ramp(8, 60, 45));
+  spec.segments.push_back(hold(30, 45));
+  return spec;
+}
+
+std::map<std::string, PaperWorkloadStats> paper_table2() {
+  return {
+      {"Wordcount", {44.36, 0.0018}}, {"Sort", {38.48, 0.0010}},
+      {"Terasort", {54.53, 0.0007}},  {"Repartition", {44.92, 0.0020}},
+      {"Kmeans", {1467.08, 0.4758}},  {"LDA", {1254.12, 0.5154}},
+      {"Linear", {928.36, 0.1453}},   {"LR", {499.37, 0.1669}},
+      {"Bayes", {342.18, 0.3320}},    {"RF", {415.71, 0.3578}},
+      {"GMM", {2432.43, 0.6896}},
+  };
+}
+
+}  // namespace
+
+std::vector<WorkloadSpec> spark_suite() {
+  return {make_wordcount(), make_sort(),  make_terasort(), make_repartition(),
+          make_kmeans(),    make_lda(),   make_linear(),   make_lr(),
+          make_bayes(),     make_rf(),    make_gmm()};
+}
+
+WorkloadSpec spark_workload(const std::string& name) {
+  for (auto& spec : spark_suite()) {
+    if (spec.name == name) return spec;
+  }
+  throw std::invalid_argument("unknown Spark workload: " + name);
+}
+
+PaperWorkloadStats spark_paper_stats(const std::string& name) {
+  const auto table = paper_table2();
+  const auto it = table.find(name);
+  if (it == table.end()) {
+    throw std::invalid_argument("no Table 2 stats for: " + name);
+  }
+  return it->second;
+}
+
+std::vector<std::string> spark_mid_high_names() {
+  return {"Kmeans", "LDA", "Linear", "LR", "Bayes", "RF", "GMM"};
+}
+
+std::vector<std::string> spark_low_names() {
+  return {"Wordcount", "Sort", "Terasort", "Repartition"};
+}
+
+}  // namespace dps

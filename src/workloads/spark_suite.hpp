@@ -1,0 +1,35 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "workloads/spec.hpp"
+
+namespace dps {
+
+/// Synthetic power-demand models for the 11 HiBench Spark workloads of the
+/// paper's Table 2 (Wordcount, Sort, Terasort, Repartition — low-power;
+/// Kmeans, LDA, Linear, LR, Bayes, RF — mid-power; GMM — high-power).
+/// Each model is calibrated so that, under the paper's constant 110 W/socket
+/// allocation and the simulator's power/performance model, the measured
+/// duration and the fraction of time above 110 W land near the published
+/// values. Linear and LR reproduce the high-frequency short phases the
+/// paper highlights (Figure 2c); LDA the long phases of Figure 2a; Bayes
+/// the diverse mid-length phases of Figure 2b.
+std::vector<WorkloadSpec> spark_suite();
+
+/// Lookup by Table 2 name ("Kmeans", "LDA", ...). Throws
+/// std::invalid_argument for unknown names.
+WorkloadSpec spark_workload(const std::string& name);
+
+/// The paper's published Table 2 numbers for a Spark workload.
+PaperWorkloadStats spark_paper_stats(const std::string& name);
+
+/// Names of the mid- and high-power Spark workloads (the 7 used on the
+/// "primary" cluster in every experiment group).
+std::vector<std::string> spark_mid_high_names();
+
+/// Names of the 4 low-power Spark workloads.
+std::vector<std::string> spark_low_names();
+
+}  // namespace dps

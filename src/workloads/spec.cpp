@@ -1,0 +1,82 @@
+#include "workloads/spec.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dps {
+
+Segment hold(Seconds duration, Watts power) {
+  return Segment{duration, power, power};
+}
+
+Segment ramp(Seconds duration, Watts from, Watts to) {
+  return Segment{duration, from, to};
+}
+
+const char* to_string(PowerType type) {
+  switch (type) {
+    case PowerType::kLow:
+      return "low-power";
+    case PowerType::kMid:
+      return "mid-power";
+    case PowerType::kHigh:
+      return "high-power";
+    case PowerType::kNpb:
+      return "npb";
+  }
+  return "unknown";
+}
+
+Seconds WorkloadSpec::nominal_duration() const {
+  Seconds total = 0.0;
+  for (const auto& seg : segments) total += seg.duration;
+  return total;
+}
+
+namespace {
+
+/// Time share of one linear segment spent strictly above `threshold`.
+Seconds time_above(const Segment& seg, Watts threshold) {
+  const Watts lo = std::min(seg.start_power, seg.end_power);
+  const Watts hi = std::max(seg.start_power, seg.end_power);
+  if (hi <= threshold) return 0.0;
+  if (lo >= threshold) return seg.duration;
+  // Linear crossing: fraction of the segment above the threshold.
+  return seg.duration * (hi - threshold) / (hi - lo);
+}
+
+}  // namespace
+
+double WorkloadSpec::fraction_above(Watts threshold) const {
+  const Seconds total = nominal_duration();
+  if (total <= 0.0) return 0.0;
+  Seconds above = 0.0;
+  for (const auto& seg : segments) above += time_above(seg, threshold);
+  return above / total;
+}
+
+Watts WorkloadSpec::peak_demand() const {
+  Watts peak = 0.0;
+  for (const auto& seg : segments) {
+    peak = std::max({peak, seg.start_power, seg.end_power});
+  }
+  return peak;
+}
+
+Watts WorkloadSpec::demand_at(Seconds progress) const {
+  if (segments.empty()) {
+    throw std::logic_error("WorkloadSpec::demand_at: no segments");
+  }
+  if (progress <= 0.0) return segments.front().start_power;
+  Seconds start = 0.0;
+  for (const auto& seg : segments) {
+    if (progress < start + seg.duration) {
+      const double frac = (progress - start) / seg.duration;
+      return seg.start_power + frac * (seg.end_power - seg.start_power);
+    }
+    start += seg.duration;
+  }
+  return segments.back().end_power;
+}
+
+}  // namespace dps

@@ -1,0 +1,85 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "power/power_interface.hpp"
+
+namespace dps {
+
+/// One piecewise-linear stretch of a workload's power-demand profile,
+/// parameterized by *work progress* (seconds of execution at full speed),
+/// not wall time. When a power cap slows a unit down, the same segment
+/// spans more wall time — which is how capping stretches runtimes on real
+/// hardware.
+struct Segment {
+  Seconds duration;   // seconds of work at uncapped speed
+  Watts start_power;  // demand at the start of the segment
+  Watts end_power;    // demand at the end (linear in between)
+};
+
+/// Constant-demand segment.
+Segment hold(Seconds duration, Watts power);
+/// Linear ramp between two demands.
+Segment ramp(Seconds duration, Watts from, Watts to);
+
+/// Power classification from the paper's Table 2 / Section 5.2: Spark
+/// workloads are low/mid/high-power by their time share above 110 W; all
+/// NPB workloads consume high power essentially always.
+enum class PowerType { kLow, kMid, kHigh, kNpb };
+
+const char* to_string(PowerType type);
+
+/// A workload's synthetic power-demand model for one active socket, plus
+/// the execution/jitter parameters needed to instantiate per-run, per-socket
+/// realizations. Substitutes for the real HiBench / NPB applications: the
+/// power managers under study observe nothing but power, so a demand trace
+/// with the paper's published dynamics (Tables 2 & 4, Figure 2) exercises
+/// the same control paths.
+struct WorkloadSpec {
+  std::string name;
+  PowerType power_type = PowerType::kMid;
+  std::vector<Segment> segments;
+
+  /// Sockets that actively execute the workload; the paper's low-power
+  /// workloads use a single 8-core executor (one socket), everything else
+  /// saturates all worker sockets. 0 means "all sockets of the cluster".
+  int active_sockets = 0;
+
+  /// Idle time between consecutive runs of the workload (job scheduling
+  /// gap). Matters for short NPB workloads, whose inter-run gaps make them
+  /// look phased to a power manager (paper Section 6.3).
+  Seconds inter_run_gap = 8.0;
+
+  /// Per-run lognormal-ish multiplicative jitter applied to segment
+  /// durations (the paper reports notable run-to-run Spark variance).
+  double duration_jitter = 0.03;
+  /// Per-run multiplicative jitter on demand levels.
+  double power_jitter = 0.02;
+  /// Max random per-socket start offset within a run, modeling executor
+  /// scheduling skew.
+  Seconds socket_skew = 2.0;
+
+  /// Total seconds of work at uncapped speed (sum of segment durations).
+  Seconds nominal_duration() const;
+
+  /// Analytic fraction of (uncapped) time the demand exceeds `threshold`;
+  /// used to verify the models against Table 2's "Above 110W" column.
+  double fraction_above(Watts threshold) const;
+
+  /// Peak demand across all segments.
+  Watts peak_demand() const;
+
+  /// Demand at a given progress point, linear inside segments; clamps to
+  /// the last segment's end power beyond the nominal duration.
+  Watts demand_at(Seconds progress) const;
+};
+
+/// Reference values published in the paper for comparison in tests and in
+/// the Table 2 / Table 4 benches.
+struct PaperWorkloadStats {
+  Seconds duration;           // mean latency under constant 110 W (Tables 2/4)
+  double above_110_fraction;  // "Above 110W" column (0..1)
+};
+
+}  // namespace dps

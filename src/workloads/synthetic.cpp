@@ -1,0 +1,92 @@
+#include "workloads/synthetic.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+#include "workloads/trace_workload.hpp"
+
+namespace dps {
+namespace {
+
+WorkloadSpec base_spec(std::string name) {
+  WorkloadSpec spec;
+  spec.name = std::move(name);
+  spec.duration_jitter = 0.0;
+  spec.power_jitter = 0.0;
+  spec.socket_skew = 0.0;
+  spec.inter_run_gap = 5.0;
+  return spec;
+}
+
+}  // namespace
+
+WorkloadSpec square_wave(Seconds high_duration, Seconds low_duration,
+                         Watts high, Watts low, int cycles) {
+  if (cycles <= 0 || high_duration <= 0.0 || low_duration <= 0.0) {
+    throw std::invalid_argument("square_wave: invalid parameters");
+  }
+  auto spec = base_spec("square_wave");
+  spec.segments.reserve(static_cast<std::size_t>(cycles) * 2);
+  for (int c = 0; c < cycles; ++c) {
+    spec.segments.push_back(hold(high_duration, high));
+    spec.segments.push_back(hold(low_duration, low));
+  }
+  spec.power_type = classify_power_type(spec);
+  return spec;
+}
+
+WorkloadSpec sawtooth(Seconds rise, Watts low, Watts high, int cycles) {
+  if (cycles <= 0 || rise <= 0.0 || high <= low) {
+    throw std::invalid_argument("sawtooth: invalid parameters");
+  }
+  auto spec = base_spec("sawtooth");
+  for (int c = 0; c < cycles; ++c) {
+    spec.segments.push_back(ramp(rise, low, high));
+    spec.segments.push_back(ramp(0.5, high, low));
+  }
+  spec.power_type = classify_power_type(spec);
+  return spec;
+}
+
+WorkloadSpec step(Seconds before, Seconds after, Watts low, Watts high) {
+  if (before < 0.0 || after <= 0.0) {
+    throw std::invalid_argument("step: invalid durations");
+  }
+  auto spec = base_spec("step");
+  if (before > 0.0) spec.segments.push_back(hold(before, low));
+  spec.segments.push_back(ramp(1.0, low, high));
+  spec.segments.push_back(hold(after, high));
+  spec.power_type = classify_power_type(spec);
+  return spec;
+}
+
+WorkloadSpec flat(Seconds duration, Watts level) {
+  if (duration <= 0.0) {
+    throw std::invalid_argument("flat: duration must be > 0");
+  }
+  auto spec = base_spec("flat");
+  spec.segments.push_back(hold(duration, level));
+  spec.power_type = classify_power_type(spec);
+  return spec;
+}
+
+WorkloadSpec random_walk(int steps, Seconds segment_duration, Watts low,
+                         Watts high, double volatility, std::uint64_t seed) {
+  if (steps <= 0 || segment_duration <= 0.0 || high <= low) {
+    throw std::invalid_argument("random_walk: invalid parameters");
+  }
+  auto spec = base_spec("random_walk");
+  Rng rng(seed);
+  Watts level = rng.uniform(low, high);
+  for (int s = 0; s < steps; ++s) {
+    const Watts next =
+        std::clamp(level + rng.normal(0.0, volatility), low, high);
+    spec.segments.push_back(ramp(segment_duration, level, next));
+    level = next;
+  }
+  spec.power_type = classify_power_type(spec);
+  return spec;
+}
+
+}  // namespace dps

@@ -1,0 +1,36 @@
+#pragma once
+
+#include "workloads/spec.hpp"
+
+namespace dps {
+
+/// Parametric synthetic demand shapes, used by the property tests and the
+/// detector-characterization bench to probe the manager at operating
+/// points the benchmark suites do not cover (exact periods, exact ramp
+/// rates). All shapes are deterministic (no jitter) unless stated.
+
+/// Square wave: `high` W for `high_duration`, `low` W for `low_duration`,
+/// repeated `cycles` times. The canonical probe for the high-frequency
+/// detector (paper Section 3.3: phases can flip faster than the manager
+/// can react).
+WorkloadSpec square_wave(Seconds high_duration, Seconds low_duration,
+                         Watts high, Watts low, int cycles);
+
+/// Sawtooth: linear rise over `rise` seconds then instant drop, repeated.
+/// Exercises the derivative detector with a precisely known slope.
+WorkloadSpec sawtooth(Seconds rise, Watts low, Watts high, int cycles);
+
+/// Single step: `low` W for `before`, then `high` W for `after` — the
+/// Figure 1 motivational shape.
+WorkloadSpec step(Seconds before, Seconds after, Watts low, Watts high);
+
+/// Constant demand for `duration` seconds.
+WorkloadSpec flat(Seconds duration, Watts level);
+
+/// Random-walk demand: `steps` segments of `segment_duration`, each moving
+/// the level by N(0, volatility) within [low, high]. Deterministic per
+/// seed.
+WorkloadSpec random_walk(int steps, Seconds segment_duration, Watts low,
+                         Watts high, double volatility, std::uint64_t seed);
+
+}  // namespace dps

@@ -1,0 +1,96 @@
+#include "workloads/trace_workload.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace dps {
+
+PowerType classify_power_type(const WorkloadSpec& spec) {
+  const double above = spec.fraction_above(110.0);
+  if (above > 2.0 / 3.0) return PowerType::kHigh;
+  if (above >= 0.10) return PowerType::kMid;
+  return PowerType::kLow;
+}
+
+WorkloadSpec workload_from_samples(std::span<const double> power_samples,
+                                   Seconds sample_period, std::string name) {
+  if (power_samples.size() < 2) {
+    throw std::runtime_error("workload_from_samples: need >= 2 samples");
+  }
+  if (sample_period <= 0.0) {
+    throw std::runtime_error("workload_from_samples: period must be > 0");
+  }
+
+  WorkloadSpec spec;
+  spec.name = std::move(name);
+  // A replayed trace is a fixed recording: no synthetic jitter.
+  spec.duration_jitter = 0.0;
+  spec.power_jitter = 0.0;
+  spec.socket_skew = 0.0;
+
+  // Merge runs of (nearly) equal samples into single holds; everything
+  // else becomes a linear ramp between consecutive samples.
+  constexpr double kMergeEpsilon = 0.25;  // watts
+  std::size_t i = 0;
+  while (i + 1 < power_samples.size()) {
+    const double level = power_samples[i];
+    std::size_t j = i;
+    while (j + 1 < power_samples.size() &&
+           std::abs(power_samples[j + 1] - level) <= kMergeEpsilon) {
+      ++j;
+    }
+    if (j > i) {
+      spec.segments.push_back(
+          hold(static_cast<double>(j - i) * sample_period, level));
+      i = j;
+    } else {
+      spec.segments.push_back(
+          ramp(sample_period, level, power_samples[i + 1]));
+      ++i;
+    }
+  }
+
+  spec.power_type = classify_power_type(spec);
+  return spec;
+}
+
+WorkloadSpec workload_from_trace_csv(const std::string& path,
+                                     std::string name) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("workload_from_trace_csv: cannot open " + path);
+  }
+  std::vector<double> times;
+  std::vector<double> powers;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream row(line);
+    std::string time_field, power_field;
+    if (!std::getline(row, time_field, ',') ||
+        !std::getline(row, power_field, ',')) {
+      continue;
+    }
+    char* end = nullptr;
+    const double t = std::strtod(time_field.c_str(), &end);
+    if (end == time_field.c_str()) continue;  // header or junk row
+    const double p = std::strtod(power_field.c_str(), &end);
+    if (end == power_field.c_str()) continue;
+    times.push_back(t);
+    powers.push_back(p);
+  }
+  if (powers.size() < 2) {
+    throw std::runtime_error("workload_from_trace_csv: fewer than 2 samples in " +
+                             path);
+  }
+  const Seconds period = times[1] - times[0];
+  if (period <= 0.0) {
+    throw std::runtime_error("workload_from_trace_csv: non-increasing time in " +
+                             path);
+  }
+  return workload_from_samples(powers, period, std::move(name));
+}
+
+}  // namespace dps

@@ -1,0 +1,33 @@
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "workloads/spec.hpp"
+
+namespace dps {
+
+/// Builds a WorkloadSpec from a recorded power trace — the bridge between
+/// real deployments and the simulator. Record a node's power at a fixed
+/// period (e.g. with the SysfsRapl backend), feed the samples here, and
+/// every manager can be evaluated against that exact demand profile
+/// offline. Consecutive equal samples merge into holds; differing samples
+/// become linear ramps. The power type is classified with the paper's
+/// Table 2 rule (share of time above 110 W).
+WorkloadSpec workload_from_samples(std::span<const double> power_samples,
+                                   Seconds sample_period, std::string name);
+
+/// Same, reading a two-column CSV (header row skipped if non-numeric):
+///   time_s,power_w
+/// The time column is ignored except for inferring the sample period from
+/// the first two rows. Throws std::runtime_error on unreadable input or
+/// fewer than two samples.
+WorkloadSpec workload_from_trace_csv(const std::string& path,
+                                     std::string name);
+
+/// The Table 2 / Section 5.2 classification applied to any spec: low-power
+/// below 10 % of time above 110 W, high-power above 2/3, mid-power in
+/// between.
+PowerType classify_power_type(const WorkloadSpec& spec);
+
+}  // namespace dps

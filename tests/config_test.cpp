@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "core/config_io.hpp"
+#include "util/ini.hpp"
+
+namespace dps {
+namespace {
+
+TEST(Ini, ParsesSectionsKeysAndComments) {
+  const auto ini = IniFile::parse(
+      "# leading comment\n"
+      "top = 1\n"
+      "[dps]\n"
+      "history_length = 30   ; trailing comment\n"
+      "\n"
+      "use_restore = false\n"
+      "[stateless]\n"
+      "inc_percentile = 1.25\n");
+  EXPECT_EQ(ini.get("", "top"), "1");
+  EXPECT_EQ(ini.get_int("dps", "history_length"), 30);
+  EXPECT_EQ(ini.get_bool("dps", "use_restore"), false);
+  EXPECT_DOUBLE_EQ(*ini.get_double("stateless", "inc_percentile"), 1.25);
+  EXPECT_TRUE(ini.has_section("dps"));
+  EXPECT_FALSE(ini.has_section("nope"));
+}
+
+TEST(Ini, MissingKeysReturnNullopt) {
+  const auto ini = IniFile::parse("[a]\nx = 1\n");
+  EXPECT_FALSE(ini.get("a", "y").has_value());
+  EXPECT_FALSE(ini.get("b", "x").has_value());
+  EXPECT_FALSE(ini.get_double("a", "y").has_value());
+}
+
+TEST(Ini, UnparsableValuesReturnNullopt) {
+  const auto ini = IniFile::parse("[a]\nx = hello\nb = maybe\n");
+  EXPECT_FALSE(ini.get_int("a", "x").has_value());
+  EXPECT_FALSE(ini.get_double("a", "x").has_value());
+  EXPECT_FALSE(ini.get_bool("a", "b").has_value());
+  EXPECT_EQ(ini.get("a", "x"), "hello");
+}
+
+TEST(Ini, BoolSpellings) {
+  const auto ini = IniFile::parse(
+      "a = true\nb = YES\nc = on\nd = 1\ne = False\nf = off\n");
+  EXPECT_EQ(ini.get_bool("", "a"), true);
+  EXPECT_EQ(ini.get_bool("", "b"), true);
+  EXPECT_EQ(ini.get_bool("", "c"), true);
+  EXPECT_EQ(ini.get_bool("", "d"), true);
+  EXPECT_EQ(ini.get_bool("", "e"), false);
+  EXPECT_EQ(ini.get_bool("", "f"), false);
+}
+
+TEST(Ini, MalformedLinesThrow) {
+  EXPECT_THROW(IniFile::parse("[unterminated\n"), std::runtime_error);
+  EXPECT_THROW(IniFile::parse("no equals sign\n"), std::runtime_error);
+  EXPECT_THROW(IniFile::parse("= value without key\n"), std::runtime_error);
+}
+
+TEST(Ini, LoadMissingFileThrows) {
+  EXPECT_THROW(IniFile::load("/no/such/config.ini"), std::runtime_error);
+}
+
+TEST(ConfigIo, DefaultsWhenEmpty) {
+  const auto config = dps_config_from_ini(IniFile::parse(""));
+  const DpsConfig defaults;
+  EXPECT_EQ(config.history_length, defaults.history_length);
+  EXPECT_DOUBLE_EQ(config.deriv_inc_threshold, defaults.deriv_inc_threshold);
+  EXPECT_EQ(config.use_restore, defaults.use_restore);
+  EXPECT_DOUBLE_EQ(config.mimd.inc_percentile, defaults.mimd.inc_percentile);
+}
+
+TEST(ConfigIo, OverridesListedKeysOnly) {
+  const auto config = dps_config_from_ini(IniFile::parse(
+      "[dps]\n"
+      "history_length = 40\n"
+      "deriv_inc_threshold = 3.5\n"
+      "use_kalman_filter = false\n"
+      "[stateless]\n"
+      "dec_percentile = 0.9\n"));
+  EXPECT_EQ(config.history_length, 40u);
+  EXPECT_DOUBLE_EQ(config.deriv_inc_threshold, 3.5);
+  EXPECT_FALSE(config.use_kalman_filter);
+  EXPECT_DOUBLE_EQ(config.mimd.dec_percentile, 0.9);
+  // Untouched keys keep defaults.
+  const DpsConfig defaults;
+  EXPECT_DOUBLE_EQ(config.std_threshold, defaults.std_threshold);
+  EXPECT_DOUBLE_EQ(config.mimd.inc_threshold, defaults.mimd.inc_threshold);
+}
+
+TEST(ConfigIo, FromFileRoundTrip) {
+  const std::string path = testing::TempDir() + "/dps_config.ini";
+  {
+    std::ofstream out(path);
+    out << "[dps]\npeak_count_threshold = 5\nrestore_threshold = 0.9\n";
+  }
+  const auto config = dps_config_from_file(path);
+  EXPECT_EQ(config.peak_count_threshold, 5u);
+  EXPECT_DOUBLE_EQ(config.restore_threshold, 0.9);
+}
+
+TEST(ConfigIo, ShippedDefaultConfigMatchesBuiltInDefaults) {
+  // configs/dps.ini documents the paper defaults; loading it must change
+  // nothing. Keeps the sample file honest as code defaults evolve.
+  const auto config = dps_config_from_file(std::string(DPS_SOURCE_DIR) +
+                                           "/configs/dps.ini");
+  const DpsConfig defaults;
+  EXPECT_EQ(config.history_length, defaults.history_length);
+  EXPECT_DOUBLE_EQ(config.kf_process_variance, defaults.kf_process_variance);
+  EXPECT_DOUBLE_EQ(config.kf_measurement_variance,
+                   defaults.kf_measurement_variance);
+  EXPECT_DOUBLE_EQ(config.peak_prominence, defaults.peak_prominence);
+  EXPECT_EQ(config.peak_count_threshold, defaults.peak_count_threshold);
+  EXPECT_DOUBLE_EQ(config.std_threshold, defaults.std_threshold);
+  EXPECT_DOUBLE_EQ(config.deriv_inc_threshold, defaults.deriv_inc_threshold);
+  EXPECT_DOUBLE_EQ(config.deriv_dec_threshold, defaults.deriv_dec_threshold);
+  EXPECT_EQ(config.deriv_length, defaults.deriv_length);
+  EXPECT_DOUBLE_EQ(config.idle_demote_fraction,
+                   defaults.idle_demote_fraction);
+  EXPECT_EQ(config.idle_demote_steps, defaults.idle_demote_steps);
+  EXPECT_DOUBLE_EQ(config.restore_threshold, defaults.restore_threshold);
+  EXPECT_EQ(config.use_kalman_filter, defaults.use_kalman_filter);
+  EXPECT_EQ(config.use_priority_module, defaults.use_priority_module);
+  EXPECT_EQ(config.use_restore, defaults.use_restore);
+  EXPECT_EQ(config.favor_low_caps, defaults.favor_low_caps);
+  EXPECT_DOUBLE_EQ(config.mimd.inc_threshold, defaults.mimd.inc_threshold);
+  EXPECT_DOUBLE_EQ(config.mimd.dec_threshold, defaults.mimd.dec_threshold);
+  EXPECT_DOUBLE_EQ(config.mimd.inc_percentile, defaults.mimd.inc_percentile);
+  EXPECT_DOUBLE_EQ(config.mimd.dec_percentile, defaults.mimd.dec_percentile);
+  EXPECT_DOUBLE_EQ(config.mimd.dec_floor_margin,
+                   defaults.mimd.dec_floor_margin);
+  EXPECT_EQ(config.mimd.decision_interval_steps,
+            defaults.mimd.decision_interval_steps);
+  EXPECT_EQ(config.mimd.dec_window_steps, defaults.mimd.dec_window_steps);
+}
+
+TEST(ConfigIo, NoisySensorVariantLoadsCleanly) {
+  const auto config = dps_config_from_file(
+      std::string(DPS_SOURCE_DIR) + "/configs/dps_noisy_sensors.ini");
+  EXPECT_DOUBLE_EQ(config.kf_measurement_variance, 25.0);
+  EXPECT_DOUBLE_EQ(config.deriv_dec_threshold, -6.0);
+  // Keys the variant does not set keep their defaults.
+  EXPECT_EQ(config.history_length, DpsConfig{}.history_length);
+}
+
+TEST(ConfigIo, MimdBaseIsPreserved) {
+  const auto base = slurm_plugin_defaults();
+  const auto config = mimd_config_from_ini(
+      IniFile::parse("[stateless]\ninc_percentile = 1.3\n"), base);
+  EXPECT_DOUBLE_EQ(config.inc_percentile, 1.3);
+  EXPECT_EQ(config.dec_window_steps, base.dec_window_steps);
+  EXPECT_DOUBLE_EQ(config.dec_percentile, base.dec_percentile);
+}
+
+}  // namespace
+}  // namespace dps

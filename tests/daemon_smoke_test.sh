@@ -1,0 +1,27 @@
+#!/usr/bin/env sh
+# End-to-end smoke test of the deployment daemons: dpsd (controller) and
+# dps_node (clients) complete a fixed number of rounds over real TCP and
+# both exit cleanly. Registered with ctest by tests/CMakeLists.txt, which
+# passes the build directory as $1.
+set -eu
+
+BUILD_DIR="${1:?usage: daemon_smoke_test.sh <build_dir>}"
+PORT=$((20000 + $$ % 10000))
+
+"$BUILD_DIR/tools/dpsd" --units 3 --port "$PORT" --rounds 50 \
+  --period 0.005 --budget 330 > /tmp/dpsd_smoke_$$.log 2>&1 &
+DPSD_PID=$!
+
+sleep 0.3
+"$BUILD_DIR/tools/dps_node" --port "$PORT" --simulate 3 --seed 11 \
+  > /tmp/dps_node_smoke_$$.log 2>&1
+NODE_STATUS=$?
+
+wait "$DPSD_PID"
+DPSD_STATUS=$?
+
+grep -q "finished after 50 rounds" /tmp/dps_node_smoke_$$.log
+grep -q "shutting down after 50 rounds" /tmp/dpsd_smoke_$$.log
+rm -f /tmp/dpsd_smoke_$$.log /tmp/dps_node_smoke_$$.log
+
+[ "$NODE_STATUS" -eq 0 ] && [ "$DPSD_STATUS" -eq 0 ]

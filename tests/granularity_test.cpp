@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "sim/granularity.hpp"
+
+namespace dps {
+namespace {
+
+TEST(Aggregator, ConstructionValidatesDivisibility) {
+  EXPECT_NO_THROW(UnitAggregator(20, 2));
+  EXPECT_THROW(UnitAggregator(20, 3), std::invalid_argument);
+  EXPECT_THROW(UnitAggregator(0, 1), std::invalid_argument);
+  EXPECT_THROW(UnitAggregator(4, 0), std::invalid_argument);
+}
+
+TEST(Aggregator, UnitCountArithmetic) {
+  const UnitAggregator aggregator(20, 4);
+  EXPECT_EQ(aggregator.num_units(), 5);
+  EXPECT_EQ(aggregator.num_sockets(), 20);
+  EXPECT_EQ(aggregator.sockets_per_unit(), 4);
+}
+
+TEST(Aggregator, AggregateSumsGroups) {
+  const UnitAggregator aggregator(4, 2);
+  const std::vector<Watts> sockets = {10.0, 20.0, 30.0, 40.0};
+  std::vector<Watts> units(2);
+  aggregator.aggregate(sockets, units);
+  EXPECT_DOUBLE_EQ(units[0], 30.0);
+  EXPECT_DOUBLE_EQ(units[1], 70.0);
+}
+
+TEST(Aggregator, SplitConservesUnitCap) {
+  const UnitAggregator aggregator(4, 2);
+  const std::vector<Watts> unit_caps = {220.0, 180.0};
+  const std::vector<Watts> power = {100.0, 50.0, 90.0, 90.0};
+  std::vector<Watts> socket_caps(4);
+  aggregator.split_caps(unit_caps, power, socket_caps);
+  EXPECT_NEAR(socket_caps[0] + socket_caps[1], 220.0, 1e-9);
+  EXPECT_NEAR(socket_caps[2] + socket_caps[3], 180.0, 1e-9);
+}
+
+TEST(Aggregator, SplitFavoursHotterSocket) {
+  const UnitAggregator aggregator(2, 2);
+  const std::vector<Watts> unit_caps = {220.0};
+  const std::vector<Watts> power = {150.0, 50.0};
+  std::vector<Watts> socket_caps(2);
+  aggregator.split_caps(unit_caps, power, socket_caps);
+  EXPECT_GT(socket_caps[0], socket_caps[1]);
+  EXPECT_GT(socket_caps[0], 110.0);
+}
+
+TEST(Aggregator, FloorShareProtectsIdleSocket) {
+  const UnitAggregator aggregator(2, 2);
+  const std::vector<Watts> unit_caps = {220.0};
+  const std::vector<Watts> power = {160.0, 0.0};
+  std::vector<Watts> socket_caps(2);
+  aggregator.split_caps(unit_caps, power, socket_caps, 0.4);
+  // Idle socket keeps at least 40 % of the equal share (0.4 * 110 = 44).
+  EXPECT_GE(socket_caps[1], 44.0 - 1e-9);
+}
+
+TEST(Aggregator, AllIdleSplitsEqually) {
+  const UnitAggregator aggregator(2, 2);
+  const std::vector<Watts> unit_caps = {200.0};
+  const std::vector<Watts> power = {0.0, 0.0};
+  std::vector<Watts> socket_caps(2);
+  aggregator.split_caps(unit_caps, power, socket_caps);
+  EXPECT_NEAR(socket_caps[0], 100.0, 1e-9);
+  EXPECT_NEAR(socket_caps[1], 100.0, 1e-9);
+}
+
+TEST(Aggregator, SizeMismatchesThrow) {
+  const UnitAggregator aggregator(4, 2);
+  std::vector<Watts> wrong(3), units(2), sockets(4);
+  EXPECT_THROW(aggregator.aggregate(wrong, units), std::invalid_argument);
+  EXPECT_THROW(aggregator.split_caps(units, wrong, sockets),
+               std::invalid_argument);
+}
+
+TEST(Aggregator, IdentityGranularityIsTransparent) {
+  const UnitAggregator aggregator(3, 1);
+  const std::vector<Watts> power = {10.0, 20.0, 30.0};
+  std::vector<Watts> units(3);
+  aggregator.aggregate(power, units);
+  EXPECT_EQ(units, power);
+  const std::vector<Watts> caps = {110.0, 120.0, 130.0};
+  std::vector<Watts> socket_caps(3);
+  aggregator.split_caps(caps, power, socket_caps);
+  for (int i = 0; i < 3; ++i) EXPECT_NEAR(socket_caps[i], caps[i], 1e-9);
+}
+
+}  // namespace
+}  // namespace dps

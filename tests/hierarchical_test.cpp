@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "managers/hierarchical.hpp"
+#include "util/rng.hpp"
+
+namespace dps {
+namespace {
+
+ManagerContext make_ctx(int units = 8, Watts budget_per_unit = 110.0) {
+  ManagerContext ctx;
+  ctx.num_units = units;
+  ctx.total_budget = budget_per_unit * units;
+  ctx.tdp = 165.0;
+  ctx.min_cap = 40.0;
+  return ctx;
+}
+
+HierarchicalConfig config_with(int per_enclave) {
+  HierarchicalConfig config;
+  config.units_per_enclave = per_enclave;
+  return config;
+}
+
+Watts sum_of(const std::vector<Watts>& caps) {
+  return std::accumulate(caps.begin(), caps.end(), 0.0);
+}
+
+TEST(Hierarchical, RejectsBadConfigAndLayout) {
+  HierarchicalConfig bad;
+  bad.units_per_enclave = 0;
+  EXPECT_THROW(HierarchicalManager{bad}, std::invalid_argument);
+  bad = HierarchicalConfig{};
+  bad.share_smoothing = 0.0;
+  EXPECT_THROW(HierarchicalManager{bad}, std::invalid_argument);
+
+  HierarchicalManager manager(config_with(3));
+  EXPECT_THROW(manager.reset(make_ctx(8)), std::invalid_argument);  // 8 % 3
+}
+
+TEST(Hierarchical, StartsWithEqualShares) {
+  HierarchicalManager manager(config_with(4));
+  manager.reset(make_ctx(8));
+  ASSERT_EQ(manager.enclave_shares().size(), 2u);
+  EXPECT_DOUBLE_EQ(manager.enclave_shares()[0], 440.0);
+  EXPECT_DOUBLE_EQ(manager.enclave_shares()[1], 440.0);
+}
+
+TEST(Hierarchical, SharesShiftTowardTheHotEnclave) {
+  HierarchicalManager manager(config_with(4));
+  const auto ctx = make_ctx(8);
+  manager.reset(ctx);
+  std::vector<Watts> caps(8, ctx.constant_cap());
+  for (int step = 0; step < 40; ++step) {
+    std::vector<Watts> power(8);
+    for (int u = 0; u < 4; ++u) power[u] = std::min(caps[u], 160.0);
+    for (int u = 4; u < 8; ++u) power[u] = 30.0;
+    manager.decide(power, caps);
+  }
+  EXPECT_GT(manager.enclave_shares()[0], 500.0);
+  EXPECT_LT(manager.enclave_shares()[1], 380.0);
+  // Shares always sum to the budget.
+  EXPECT_NEAR(manager.enclave_shares()[0] + manager.enclave_shares()[1],
+              ctx.total_budget, 1e-6);
+}
+
+TEST(Hierarchical, MinShareFloorHolds) {
+  HierarchicalConfig config = config_with(4);
+  config.min_share_fraction = 0.5;
+  HierarchicalManager manager(config);
+  const auto ctx = make_ctx(8);
+  manager.reset(ctx);
+  std::vector<Watts> caps(8, ctx.constant_cap());
+  for (int step = 0; step < 100; ++step) {
+    std::vector<Watts> power(8);
+    for (int u = 0; u < 4; ++u) power[u] = std::min(caps[u], 165.0);
+    for (int u = 4; u < 8; ++u) power[u] = 22.0;  // enclave 1 fully idle
+    manager.decide(power, caps);
+  }
+  EXPECT_GE(manager.enclave_shares()[1], 0.5 * 440.0 - 1e-6);
+}
+
+TEST(Hierarchical, BudgetInvariantUnderRandomTraffic) {
+  HierarchicalManager manager(config_with(4));
+  const auto ctx = make_ctx(12);
+  manager.reset(ctx);
+  Rng rng(17);
+  std::vector<Watts> caps(12, ctx.constant_cap());
+  for (int step = 0; step < 400; ++step) {
+    std::vector<Watts> power(12);
+    for (std::size_t u = 0; u < 12; ++u) {
+      power[u] = std::min(caps[u], rng.uniform(20.0, 165.0));
+    }
+    manager.decide(power, caps);
+    ASSERT_LE(sum_of(caps), ctx.total_budget + 1e-6);
+    for (const Watts c : caps) {
+      ASSERT_GE(c, ctx.min_cap - 1e-9);
+      ASSERT_LE(c, ctx.tdp + 1e-9);
+    }
+  }
+}
+
+TEST(Hierarchical, UpdateBudgetScalesShares) {
+  HierarchicalManager manager(config_with(4));
+  const auto ctx = make_ctx(8);
+  manager.reset(ctx);
+  std::vector<Watts> caps(8, ctx.constant_cap());
+  std::vector<Watts> power(8, 100.0);
+  manager.decide(power, caps);
+  manager.update_budget(ctx.total_budget * 0.75);
+  EXPECT_NEAR(manager.enclave_shares()[0] + manager.enclave_shares()[1],
+              ctx.total_budget * 0.75, 1e-6);
+  // Next decision enforces the shrunken shares on the caps.
+  for (int step = 0; step < 3; ++step) {
+    for (std::size_t u = 0; u < 8; ++u) power[u] = caps[u] * 0.99;
+    manager.decide(power, caps);
+  }
+  EXPECT_LE(sum_of(caps), ctx.total_budget * 0.75 + 1e-6);
+}
+
+TEST(Hierarchical, SingleEnclaveDegeneratesToLocalMimd) {
+  HierarchicalManager manager(config_with(8));
+  const auto ctx = make_ctx(8);
+  manager.reset(ctx);
+  ASSERT_EQ(manager.enclave_shares().size(), 1u);
+  std::vector<Watts> caps(8, ctx.constant_cap());
+  const std::vector<Watts> power = {30,  30,  30,  30,
+                                    109, 109, 109, 109};
+  for (int step = 0; step < 10; ++step) manager.decide(power, caps);
+  // The local MIMD shifted budget from the idle to the hungry units.
+  EXPECT_LT(caps[0], 110.0);
+  EXPECT_GT(caps[4], 110.0);
+}
+
+}  // namespace
+}  // namespace dps

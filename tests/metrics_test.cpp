@@ -1,0 +1,85 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "metrics/metrics.hpp"
+
+namespace dps {
+namespace {
+
+TEST(Satisfaction, RatioOfCappedToUncappedPower) {
+  EXPECT_DOUBLE_EQ(satisfaction(80.0, 100.0), 0.8);
+  EXPECT_DOUBLE_EQ(satisfaction(100.0, 100.0), 1.0);
+}
+
+TEST(Satisfaction, ClampedToUnitInterval) {
+  // Jitter / noise can push the ratio above 1; fairness would otherwise
+  // leave [0, 1].
+  EXPECT_DOUBLE_EQ(satisfaction(105.0, 100.0), 1.0);
+  EXPECT_DOUBLE_EQ(satisfaction(0.0, 100.0), 0.0);
+}
+
+TEST(Satisfaction, RejectsNonPositiveDenominator) {
+  EXPECT_THROW(satisfaction(50.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(satisfaction(50.0, -1.0), std::invalid_argument);
+}
+
+TEST(Fairness, UnityMinusAbsoluteDifference) {
+  EXPECT_DOUBLE_EQ(fairness(0.9, 0.9), 1.0);
+  EXPECT_DOUBLE_EQ(fairness(1.0, 0.75), 0.75);
+  EXPECT_DOUBLE_EQ(fairness(0.75, 1.0), 0.75);  // symmetric
+}
+
+TEST(Fairness, BoundedGivenClampedSatisfactions) {
+  for (double a = 0.0; a <= 1.0; a += 0.1) {
+    for (double b = 0.0; b <= 1.0; b += 0.1) {
+      const double f = fairness(a, b);
+      EXPECT_GE(f, 0.0);
+      EXPECT_LE(f, 1.0);
+    }
+  }
+}
+
+TEST(Speedup, BaselineOverMeasured) {
+  EXPECT_DOUBLE_EQ(speedup(100.0, 80.0), 1.25);
+  EXPECT_DOUBLE_EQ(speedup(100.0, 125.0), 0.8);
+  EXPECT_THROW(speedup(0.0, 10.0), std::invalid_argument);
+  EXPECT_THROW(speedup(10.0, 0.0), std::invalid_argument);
+}
+
+TEST(HmeanLatency, MatchesHarmonicMean) {
+  const std::vector<double> lat = {100.0, 200.0};
+  EXPECT_NEAR(hmean_latency(lat), 2.0 / (0.01 + 0.005), 1e-9);
+}
+
+TEST(PairHmean, CombinesTwoSpeedups) {
+  EXPECT_NEAR(pair_hmean(1.0, 1.0), 1.0, 1e-12);
+  // One winner one loser: hmean sits below the arithmetic mean, punishing
+  // imbalance — the property the paper leans on in Figures 5b and 6.
+  EXPECT_LT(pair_hmean(1.3, 0.7), 1.0);
+  EXPECT_GT(pair_hmean(1.1, 0.95), 1.0);
+}
+
+TEST(Summary, BasicStatistics) {
+  const std::vector<double> values = {3.0, 1.0, 2.0, 5.0, 4.0};
+  const auto s = summarize(values);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+  EXPECT_EQ(s.count, 5u);
+}
+
+TEST(Summary, EvenCountMedianAveragesMiddlePair) {
+  const std::vector<double> values = {1.0, 2.0, 3.0, 10.0};
+  EXPECT_DOUBLE_EQ(summarize(values).median, 2.5);
+}
+
+TEST(Summary, EmptyInput) {
+  const auto s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+}
+
+}  // namespace
+}  // namespace dps

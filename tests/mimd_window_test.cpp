@@ -1,0 +1,156 @@
+/// Focused tests of the MIMD controller's windowing/cadence features
+/// (the SLURM-baseline modeling knobs documented in DESIGN.md note 5).
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "managers/mimd.hpp"
+
+namespace dps {
+namespace {
+
+ManagerContext make_ctx(int units = 2, Watts budget_per_unit = 110.0) {
+  ManagerContext ctx;
+  ctx.num_units = units;
+  ctx.total_budget = budget_per_unit * units;
+  ctx.tdp = 165.0;
+  ctx.min_cap = 40.0;
+  return ctx;
+}
+
+TEST(MimdWindow, DecreaseUsesWindowedAverageNotInstantaneous) {
+  MimdConfig config;
+  config.dec_window_steps = 10;
+  config.dec_threshold = 0.90;
+  config.dec_percentile = 0.50;
+  MimdController mimd(config);
+  mimd.reset(make_ctx(1));
+  std::vector<Watts> caps = {110.0};
+  // Nine hot readings fill the window high...
+  for (int i = 0; i < 9; ++i) {
+    const std::vector<Watts> power = {105.0};
+    mimd.decide(power, caps);
+  }
+  EXPECT_DOUBLE_EQ(caps[0], 110.0);
+  // ...then one idle reading: the 10-sample average is still ~97 W, above
+  // the 99 W decrease threshold? (0.9*110 = 99; avg = (9*105+30)/10 = 97.5
+  // < 99) -> it *does* fire, but floors at the average (97.5), not at the
+  // instantaneous 30 W.
+  const std::vector<Watts> idle = {30.0};
+  mimd.decide(idle, caps);
+  EXPECT_NEAR(caps[0], 97.5, 1.0);
+  EXPECT_GT(caps[0], 90.0);  // nowhere near the instantaneous 30 W
+}
+
+TEST(MimdWindow, BurstInvisibleToTheWindowKeepsCapsStable) {
+  // A 2-s burst inside a 20-sample window barely moves the average, so a
+  // windowed SLURM neither rewards nor punishes it — the mechanism behind
+  // the paper's high-frequency observations.
+  MimdConfig config = slurm_plugin_defaults();
+  MimdController mimd(config);
+  mimd.reset(make_ctx(1));
+  std::vector<Watts> caps = {90.0};
+  for (int cycle = 0; cycle < 10; ++cycle) {
+    for (int i = 0; i < 5; ++i) {
+      const std::vector<Watts> power = {60.0};
+      mimd.decide(power, caps);
+    }
+    for (int i = 0; i < 2; ++i) {
+      const std::vector<Watts> power = {std::min(caps[0], 140.0)};
+      mimd.decide(power, caps);
+    }
+  }
+  // The cap hovers near the duty-cycle average territory, never tracking
+  // the burst peaks.
+  EXPECT_LT(caps[0], 135.0);
+  EXPECT_GT(caps[0], 55.0);
+}
+
+TEST(MimdWindow, PinnedUnitIsNeverDecreased) {
+  MimdConfig config = slurm_plugin_defaults();
+  MimdController mimd(config);
+  const auto ctx = make_ctx(2);
+  mimd.reset(ctx);
+  std::vector<Watts> caps = {80.0, 160.0};
+  // Unit 0's window is full of idle samples...
+  for (int i = 0; i < 25; ++i) {
+    const std::vector<Watts> power = {30.0, 155.0};
+    mimd.decide(power, caps);
+  }
+  const Watts cap_before = caps[0];
+  // ...but right now it is pinned at its cap: no decrease may fire.
+  for (int i = 0; i < 3; ++i) {
+    const std::vector<Watts> power = {caps[0] * 0.99, 155.0};
+    mimd.decide(power, caps);
+  }
+  EXPECT_GE(caps[0], cap_before - 1e-9);
+}
+
+TEST(MimdInterval, OffCycleCallsAreNoOps) {
+  MimdConfig config;
+  config.decision_interval_steps = 5;
+  MimdController mimd(config);
+  mimd.reset(make_ctx(2));
+  std::vector<Watts> caps = {110.0, 110.0};
+  const std::vector<Watts> power = {30.0, 109.0};
+  for (int i = 0; i < 4; ++i) {
+    mimd.decide(power, caps);
+    EXPECT_DOUBLE_EQ(caps[0], 110.0);
+    EXPECT_DOUBLE_EQ(caps[1], 110.0);
+    // set_flags stays clear on no-op rounds.
+    EXPECT_FALSE(mimd.set_flags()[0]);
+  }
+  mimd.decide(power, caps);  // 5th call: the rebalance happens
+  EXPECT_LT(caps[0], 110.0);
+  EXPECT_GT(caps[1], 110.0);
+}
+
+TEST(MimdInterval, ResetRestartsTheCadence) {
+  MimdConfig config;
+  config.decision_interval_steps = 3;
+  MimdController mimd(config);
+  const auto ctx = make_ctx(2);
+  mimd.reset(ctx);
+  std::vector<Watts> caps = {110.0, 110.0};
+  const std::vector<Watts> power = {30.0, 109.0};
+  mimd.decide(power, caps);
+  mimd.decide(power, caps);
+  mimd.reset(ctx);  // cadence restarts: two more no-ops before action
+  caps = {110.0, 110.0};
+  mimd.decide(power, caps);
+  mimd.decide(power, caps);
+  EXPECT_DOUBLE_EQ(caps[0], 110.0);
+  mimd.decide(power, caps);
+  EXPECT_LT(caps[0], 110.0);
+}
+
+TEST(MimdWindow, FloorMarginKeepsHeadroomAboveAverage) {
+  MimdConfig config;
+  config.dec_floor_margin = 1.20;
+  config.dec_percentile = 0.30;  // would slash hard without the floor
+  MimdController mimd(config);
+  mimd.reset(make_ctx(1));
+  std::vector<Watts> caps = {160.0};
+  for (int i = 0; i < 20; ++i) {
+    const std::vector<Watts> power = {60.0};
+    mimd.decide(power, caps);
+  }
+  // Floor = 1.2 * 60 = 72 (modulo the same-step re-increase bounce).
+  EXPECT_GE(caps[0], 72.0 - 1e-9);
+  EXPECT_LE(caps[0], 72.0 * 1.2 + 1e-6);
+}
+
+TEST(MimdWindow, SlurmDefaultsMatchDocumentedPluginParameters) {
+  const auto config = slurm_plugin_defaults();
+  EXPECT_DOUBLE_EQ(config.inc_threshold, 0.95);
+  EXPECT_DOUBLE_EQ(config.dec_threshold, 0.90);
+  EXPECT_DOUBLE_EQ(config.inc_percentile, 1.20);
+  EXPECT_DOUBLE_EQ(config.dec_percentile, 0.50);
+  EXPECT_EQ(config.dec_window_steps, 20);
+  EXPECT_EQ(config.decision_interval_steps, 1);
+}
+
+}  // namespace
+}  // namespace dps

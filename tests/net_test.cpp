@@ -1,0 +1,247 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "managers/constant.hpp"
+#include "managers/slurm_stateless.hpp"
+#include "net/client.hpp"
+#include "net/protocol.hpp"
+#include "net/server.hpp"
+
+namespace dps {
+namespace {
+
+// --- Wire protocol ---
+
+TEST(Protocol, MessagesAreExactlyThreeBytes) {
+  EXPECT_EQ(kMessageSize, 3u);
+  const auto bytes = encode(Message{MessageType::kPowerReport, 123.4});
+  EXPECT_EQ(bytes.size(), 3u);
+}
+
+TEST(Protocol, RoundTripWithinResolution) {
+  for (const Watts value : {0.0, 0.1, 42.5, 110.0, 164.9, 1000.0}) {
+    const auto decoded =
+        decode(encode(Message{MessageType::kSetCap, value}));
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(decoded->type, MessageType::kSetCap);
+    EXPECT_NEAR(decoded->value, value, kWireResolution / 2 + 1e-9);
+  }
+}
+
+TEST(Protocol, AllTypesRoundTrip) {
+  for (const auto type :
+       {MessageType::kPowerReport, MessageType::kSetCap,
+        MessageType::kKeepCap, MessageType::kShutdown}) {
+    const auto decoded = decode(encode(Message{type, 7.0}));
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(decoded->type, type);
+  }
+}
+
+TEST(Protocol, ValueSaturatesAtCodecRange) {
+  const auto decoded =
+      decode(encode(Message{MessageType::kSetCap, 1e9}));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_NEAR(decoded->value, 6553.5, 1e-9);
+  const auto negative =
+      decode(encode(Message{MessageType::kSetCap, -5.0}));
+  EXPECT_DOUBLE_EQ(negative->value, 0.0);
+}
+
+TEST(Protocol, UnknownTypeRejected) {
+  WireBytes bytes = {0x7f, 0x00, 0x01};
+  EXPECT_FALSE(decode(bytes).has_value());
+}
+
+// --- Loopback control plane ---
+
+TEST(ControlPlane, FullDecisionLoopOverTcp) {
+  constexpr int kUnits = 4;
+  constexpr int kRounds = 20;
+  ControlServer server(0, kUnits);
+
+  std::vector<Watts> applied_caps(kUnits, 0.0);
+  std::vector<std::thread> clients;
+  std::atomic<int> total_rounds{0};
+  clients.reserve(kUnits);
+  for (int u = 0; u < kUnits; ++u) {
+    clients.emplace_back([&, u] {
+      // Unit u pretends to draw 30 W (u even) or pins at its cap (u odd).
+      Watts cap = 110.0;
+      NodeClient client([&]() { return u % 2 == 0 ? 30.0 : cap * 0.99; },
+                        [&](Watts c) {
+                          cap = c;
+                          applied_caps[u] = c;
+                        });
+      client.connect(server.port());
+      total_rounds += client.run();
+    });
+  }
+
+  server.accept_all();
+  ManagerContext ctx;
+  ctx.num_units = kUnits;
+  ctx.total_budget = 110.0 * kUnits;
+  MimdConfig per_round = slurm_plugin_defaults();
+  per_round.decision_interval_steps = 1;  // rebalance every test round
+  SlurmStatelessManager manager(per_round);
+  const auto decide_ns = server.run_rounds(manager, ctx, kRounds);
+  server.shutdown();
+  for (auto& t : clients) t.join();
+
+  EXPECT_EQ(total_rounds.load(), kUnits * kRounds);
+  EXPECT_GT(decide_ns, 0u);
+  // The quiet even units were squeezed, the hungry odd units fattened.
+  EXPECT_LT(applied_caps[0], 110.0);
+  EXPECT_GT(applied_caps[1], 110.0);
+  // Budget respected on the wire-delivered caps.
+  Watts sum = 0.0;
+  for (const Watts c : server.last_caps()) sum += c;
+  EXPECT_LE(sum, ctx.total_budget + 1e-6);
+}
+
+TEST(ControlPlane, ConstantManagerDeliversConstantCaps) {
+  constexpr int kUnits = 2;
+  ControlServer server(0, kUnits);
+  std::vector<Watts> got(kUnits, 0.0);
+  std::vector<std::thread> clients;
+  for (int u = 0; u < kUnits; ++u) {
+    clients.emplace_back([&, u] {
+      NodeClient client([] { return 50.0; }, [&, u](Watts c) { got[u] = c; });
+      client.connect(server.port());
+      client.run();
+    });
+  }
+  server.accept_all();
+  ManagerContext ctx;
+  ctx.num_units = kUnits;
+  ctx.total_budget = 220.0;
+  ConstantManager manager;
+  server.run_rounds(manager, ctx, 3);
+  server.shutdown();
+  for (auto& t : clients) t.join();
+  EXPECT_NEAR(got[0], 110.0, kWireResolution);
+  EXPECT_NEAR(got[1], 110.0, kWireResolution);
+}
+
+TEST(ControlPlane, ConstantManagerSendsKeepCapAfterFirstRound) {
+  constexpr int kUnits = 3;
+  constexpr int kRounds = 10;
+  ControlServer server(0, kUnits);
+  std::vector<int> writes(kUnits, 0);
+  std::vector<std::thread> clients;
+  for (int u = 0; u < kUnits; ++u) {
+    clients.emplace_back([&, u] {
+      NodeClient client([] { return 50.0; },
+                        [&, u](Watts) { ++writes[u]; });
+      client.connect(server.port());
+      client.run();
+    });
+  }
+  server.accept_all();
+  ManagerContext ctx;
+  ctx.num_units = kUnits;
+  ctx.total_budget = 330.0;
+  ConstantManager manager;
+  server.run_rounds(manager, ctx, kRounds);
+  server.shutdown();
+  for (auto& t : clients) t.join();
+  // Constant caps never change after round one: one real write per client,
+  // keep-cap messages for the rest.
+  EXPECT_EQ(server.set_cap_messages(), static_cast<std::uint64_t>(kUnits));
+  EXPECT_EQ(server.keep_cap_messages(),
+            static_cast<std::uint64_t>(kUnits * (kRounds - 1)));
+  for (const int w : writes) EXPECT_EQ(w, 1);
+}
+
+TEST(ControlPlane, SurvivesClientDeathMidSession) {
+  constexpr int kUnits = 3;
+  ControlServer server(0, kUnits);
+  std::vector<std::thread> clients;
+  std::vector<int> rounds_done(kUnits, 0);
+  for (int u = 0; u < kUnits; ++u) {
+    clients.emplace_back([&, u] {
+      NodeClient client([] { return 80.0; }, [](Watts) {});
+      client.connect(server.port());
+      if (u == 1) {
+        // Client 1 dies after 3 rounds (destructor closes the socket).
+        for (int r = 0; r < 3; ++r) client.run_round();
+        rounds_done[u] = 3;
+        return;
+      }
+      rounds_done[u] = client.run();
+    });
+  }
+  server.accept_all();
+  ManagerContext ctx;
+  ctx.num_units = kUnits;
+  ctx.total_budget = 330.0;
+  ConstantManager manager;
+  server.begin_session(manager, ctx);
+  for (int r = 0; r < 10; ++r) server.run_round(manager);
+  EXPECT_EQ(server.alive_count(), kUnits - 1);
+  server.shutdown();
+  for (auto& t : clients) t.join();
+  EXPECT_EQ(rounds_done[0], 10);
+  EXPECT_EQ(rounds_done[2], 10);
+}
+
+TEST(ControlPlane, AllClientsGoneThrows) {
+  ControlServer server(0, 1);
+  std::thread client_thread([&] {
+    NodeClient client([] { return 50.0; }, [](Watts) {});
+    client.connect(server.port());
+    client.run_round();  // one round, then disconnect
+  });
+  server.accept_all();
+  ManagerContext ctx;
+  ctx.num_units = 1;
+  ctx.total_budget = 110.0;
+  ConstantManager manager;
+  server.begin_session(manager, ctx);
+  server.run_round(manager);
+  client_thread.join();
+  EXPECT_THROW(server.run_round(manager), std::runtime_error);
+  EXPECT_EQ(server.alive_count(), 0);
+}
+
+TEST(ControlPlane, PortZeroPicksEphemeralPort) {
+  ControlServer server(0, 1);
+  EXPECT_GT(server.port(), 0);
+}
+
+TEST(ControlPlane, RejectsZeroUnits) {
+  EXPECT_THROW(ControlServer(0, 0), std::invalid_argument);
+}
+
+TEST(ControlPlane, ClientRequiresCallbacks) {
+  EXPECT_THROW(NodeClient(nullptr, [](Watts) {}), std::invalid_argument);
+  EXPECT_THROW(NodeClient([] { return 0.0; }, nullptr),
+               std::invalid_argument);
+}
+
+TEST(ControlPlane, CapQuantizationStaysWithinWireResolution) {
+  constexpr int kUnits = 1;
+  ControlServer server(0, kUnits);
+  Watts got = 0.0;
+  std::thread client_thread([&] {
+    NodeClient client([] { return 87.3; }, [&](Watts c) { got = c; });
+    client.connect(server.port());
+    client.run();
+  });
+  server.accept_all();
+  ManagerContext ctx;
+  ctx.num_units = 1;
+  ctx.total_budget = 123.456;
+  ConstantManager manager;
+  server.run_rounds(manager, ctx, 1);
+  server.shutdown();
+  client_thread.join();
+  EXPECT_NEAR(got, 123.456, kWireResolution);
+}
+
+}  // namespace
+}  // namespace dps

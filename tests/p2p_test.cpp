@@ -1,0 +1,200 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "p2p/agent.hpp"
+#include "p2p/exchange.hpp"
+#include "p2p/p2p_manager.hpp"
+#include "util/rng.hpp"
+
+namespace dps {
+namespace {
+
+// --- Agent stance logic ---
+
+TEST(Agent, RisingPowerBecomesRequester) {
+  PowerAgent agent(0, 110.0, 40.0, 165.0);
+  for (const Watts p : {50.0, 58.0, 66.0, 74.0}) agent.observe(p);
+  EXPECT_TRUE(agent.wants_power());
+  EXPECT_DOUBLE_EQ(agent.offer(), 0.0);
+  // While its slice still has headroom it asks for nothing; once power
+  // climbs near the slice the request turns positive.
+  EXPECT_DOUBLE_EQ(agent.request(), 0.0);
+  for (const Watts p : {85.0, 96.0, 105.0}) agent.observe(p);
+  EXPECT_GT(agent.request(), 0.0);
+}
+
+TEST(Agent, PinnedAtSliceBecomesRequester) {
+  PowerAgent agent(0, 110.0, 40.0, 165.0);
+  for (int i = 0; i < 10; ++i) agent.observe(108.0);  // 0.98 of the slice
+  EXPECT_TRUE(agent.wants_power());
+}
+
+TEST(Agent, FallingPowerBecomesDonor) {
+  PowerAgent agent(0, 110.0, 40.0, 165.0);
+  for (const Watts p : {108.0, 108.0, 95.0, 80.0, 65.0}) agent.observe(p);
+  EXPECT_FALSE(agent.wants_power());
+  EXPECT_GT(agent.offer(), 0.0);
+  EXPECT_DOUBLE_EQ(agent.request(), 0.0);
+}
+
+TEST(Agent, OfferKeepsSafetyMargin) {
+  P2pConfig config;
+  config.keep_margin = 10.0;
+  config.donate_fraction = 1.0;
+  PowerAgent agent(0, 110.0, 40.0, 165.0, config);
+  for (int i = 0; i < 10; ++i) agent.observe(50.0);
+  // Can donate everything above 50 + 10.
+  EXPECT_NEAR(agent.offer(), 50.0, 1.5);
+}
+
+TEST(Agent, RequestBoundedByTdp) {
+  P2pConfig config;
+  config.want_margin = 500.0;  // absurd
+  PowerAgent agent(0, 110.0, 40.0, 165.0, config);
+  for (int i = 0; i < 5; ++i) agent.observe(108.0);
+  EXPECT_LE(agent.request(), 165.0 - 110.0 + 1e-9);
+}
+
+TEST(Agent, RejectsBadConstruction) {
+  EXPECT_THROW(PowerAgent(0, 30.0, 40.0, 165.0), std::invalid_argument);
+  EXPECT_THROW(PowerAgent(0, 110.0, 40.0, 30.0), std::invalid_argument);
+}
+
+// --- Exchange conservation and convergence ---
+
+std::vector<PowerAgent> make_agents(int n, Watts slice = 110.0) {
+  std::vector<PowerAgent> agents;
+  agents.reserve(n);
+  for (int i = 0; i < n; ++i) agents.emplace_back(i, slice, 40.0, 165.0);
+  return agents;
+}
+
+TEST(Exchange, ConservesTotalBudgetExactly) {
+  for (const auto topology :
+       {ExchangeTopology::kRing, ExchangeTopology::kRandomPairs}) {
+    auto agents = make_agents(9);  // odd count: one agent sits out
+    ExchangeNetwork network(&agents, topology, 5);
+    const Watts total = network.total_budget();
+    Rng rng(11);
+    for (int step = 0; step < 200; ++step) {
+      for (auto& agent : agents) {
+        agent.observe(rng.uniform(20.0, std::min(160.0, agent.budget())));
+      }
+      network.run_round();
+      ASSERT_NEAR(network.total_budget(), total, 1e-6);
+    }
+  }
+}
+
+TEST(Exchange, BudgetFlowsFromDonorsToRequesters) {
+  auto agents = make_agents(2);
+  // Agent 0 idles, agent 1 pins at its slice.
+  for (int i = 0; i < 6; ++i) {
+    agents[0].observe(30.0);
+    agents[1].observe(agents[1].budget() * 0.99);
+  }
+  ExchangeNetwork network(&agents, ExchangeTopology::kRing);
+  network.run_round();
+  EXPECT_LT(agents[0].budget(), 110.0);
+  EXPECT_GT(agents[1].budget(), 110.0);
+}
+
+TEST(Exchange, StarvedAgentRecoversWithinFewRounds) {
+  auto agents = make_agents(10);
+  ExchangeNetwork network(&agents, ExchangeTopology::kRing, 3);
+  // Agents 0..8 idle at 30 W; agent 9 pins.
+  for (int step = 0; step < 30; ++step) {
+    for (int i = 0; i < 9; ++i) agents[i].observe(30.0);
+    agents[9].observe(agents[9].budget() * 0.99);
+    network.run_round();
+  }
+  EXPECT_GT(agents[9].budget(), 150.0);  // gathered budget from the ring
+}
+
+TEST(Exchange, NoTradeBetweenTwoRequesters) {
+  auto agents = make_agents(2);
+  for (int i = 0; i < 6; ++i) {
+    agents[0].observe(agents[0].budget() * 0.99);
+    agents[1].observe(agents[1].budget() * 0.99);
+  }
+  ExchangeNetwork network(&agents, ExchangeTopology::kRing);
+  EXPECT_DOUBLE_EQ(network.run_round(), 0.0);
+  EXPECT_DOUBLE_EQ(agents[0].budget(), 110.0);
+}
+
+TEST(Exchange, RejectsTooFewAgents) {
+  auto agents = make_agents(1);
+  EXPECT_THROW(ExchangeNetwork(&agents, ExchangeTopology::kRing),
+               std::invalid_argument);
+  EXPECT_THROW(ExchangeNetwork(nullptr, ExchangeTopology::kRing),
+               std::invalid_argument);
+}
+
+// --- Manager adapter ---
+
+ManagerContext make_ctx(int units = 6) {
+  ManagerContext ctx;
+  ctx.num_units = units;
+  ctx.total_budget = 110.0 * units;
+  ctx.tdp = 165.0;
+  ctx.min_cap = 40.0;
+  return ctx;
+}
+
+TEST(P2pManager, BudgetInvariantUnderRandomTraffic) {
+  P2pManager manager;
+  const auto ctx = make_ctx(8);
+  manager.reset(ctx);
+  Rng rng(23);
+  std::vector<Watts> caps(8, ctx.constant_cap());
+  for (int step = 0; step < 300; ++step) {
+    std::vector<Watts> power(8);
+    for (std::size_t u = 0; u < 8; ++u) {
+      power[u] = std::min(caps[u], rng.uniform(20.0, 165.0));
+    }
+    manager.decide(power, caps);
+    const Watts total = std::accumulate(caps.begin(), caps.end(), 0.0);
+    ASSERT_NEAR(total, ctx.total_budget, 1e-6);
+    for (const Watts c : caps) {
+      ASSERT_GE(c, ctx.min_cap - 1e-9);
+      ASSERT_LE(c, ctx.tdp + 1e-9);
+    }
+  }
+}
+
+TEST(P2pManager, ResolvesTheStarvationScenario) {
+  P2pManager manager(ExchangeTopology::kRing, 3);
+  const auto ctx = make_ctx(4);
+  manager.reset(ctx);
+  std::vector<Watts> caps(4, ctx.constant_cap());
+  // Unit 0 pins, others idle.
+  for (int step = 0; step < 40; ++step) {
+    const std::vector<Watts> power = {
+        std::min(caps[0], 160.0) * 0.99, 30.0, 30.0, 30.0};
+    manager.decide(power, caps);
+  }
+  EXPECT_GT(caps[0], 140.0);
+}
+
+TEST(P2pManager, UpdateBudgetScalesSlices) {
+  P2pManager manager;
+  const auto ctx = make_ctx(4);
+  manager.reset(ctx);
+  std::vector<Watts> caps(4, ctx.constant_cap());
+  std::vector<Watts> power = {100.0, 100.0, 100.0, 100.0};
+  manager.decide(power, caps);
+  manager.update_budget(352.0);  // -20 %
+  manager.decide(power, caps);
+  const Watts total = std::accumulate(caps.begin(), caps.end(), 0.0);
+  EXPECT_NEAR(total, 352.0, 1e-6);
+}
+
+TEST(P2pManager, RejectsBadRounds) {
+  EXPECT_THROW(P2pManager(ExchangeTopology::kRing, 0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dps

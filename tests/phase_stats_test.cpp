@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "signal/phase_stats.hpp"
+#include "workloads/synthetic.hpp"
+
+namespace dps {
+namespace {
+
+TEST(Phases, FindsContiguousStretchesAboveThreshold) {
+  const std::vector<double> series = {50, 120, 130, 50, 50, 140, 50};
+  const auto phases = find_phases(series, 110.0);
+  ASSERT_EQ(phases.size(), 2u);
+  EXPECT_EQ(phases[0].start_index, 1u);
+  EXPECT_EQ(phases[0].length, 2u);
+  EXPECT_DOUBLE_EQ(phases[0].peak, 130.0);
+  EXPECT_EQ(phases[1].start_index, 5u);
+  EXPECT_EQ(phases[1].length, 1u);
+}
+
+TEST(Phases, PhaseTouchingTheEndIsCounted) {
+  const std::vector<double> series = {50, 120, 130};
+  const auto phases = find_phases(series, 110.0);
+  ASSERT_EQ(phases.size(), 1u);
+  EXPECT_EQ(phases[0].length, 2u);
+}
+
+TEST(Phases, NoPhasesBelowThreshold) {
+  const std::vector<double> series = {50, 60, 70};
+  EXPECT_TRUE(find_phases(series, 110.0).empty());
+  const auto stats = analyze_phases(series, 110.0);
+  EXPECT_EQ(stats.phase_count, 0);
+  EXPECT_DOUBLE_EQ(stats.longest, 0.0);
+}
+
+TEST(Phases, StatsSummarizeDurationsAndPeaks) {
+  const std::vector<double> series = {50,  150, 150, 150, 50,
+                                      120, 50,  140, 140, 50};
+  const auto stats = analyze_phases(series, 110.0);
+  EXPECT_EQ(stats.phase_count, 3);
+  EXPECT_DOUBLE_EQ(stats.longest, 3.0);
+  EXPECT_DOUBLE_EQ(stats.shortest, 1.0);
+  EXPECT_DOUBLE_EQ(stats.mean_duration, 2.0);
+  EXPECT_DOUBLE_EQ(stats.max_peak, 150.0);
+  EXPECT_DOUBLE_EQ(stats.min_peak, 120.0);
+}
+
+TEST(Phases, RiseAndFallRates) {
+  const std::vector<double> series = {50, 150, 120, 40};
+  const auto stats = analyze_phases(series, 110.0);
+  EXPECT_DOUBLE_EQ(stats.max_rise_rate, 100.0);
+  EXPECT_DOUBLE_EQ(stats.max_fall_rate, 80.0);
+}
+
+TEST(Phases, EmptySeries) {
+  const auto stats = analyze_phases({}, 110.0);
+  EXPECT_EQ(stats.phase_count, 0);
+  EXPECT_DOUBLE_EQ(stats.max_rise_rate, 0.0);
+}
+
+// --- Synthetic workload shapes feed the analyzer as expected ---
+
+std::vector<double> sample(const WorkloadSpec& spec, Seconds dt = 1.0) {
+  std::vector<double> series;
+  for (Seconds t = 0.0; t < spec.nominal_duration(); t += dt) {
+    series.push_back(spec.demand_at(t));
+  }
+  return series;
+}
+
+TEST(Synthetic, SquareWaveHasExactPhaseCount) {
+  const auto spec = square_wave(10.0, 10.0, 150.0, 50.0, 5);
+  EXPECT_DOUBLE_EQ(spec.nominal_duration(), 100.0);
+  const auto stats = analyze_phases(sample(spec), 110.0);
+  EXPECT_EQ(stats.phase_count, 5);
+  EXPECT_NEAR(stats.longest, 10.0, 1.0);
+}
+
+TEST(Synthetic, SquareWaveFractionAboveMatchesDutyCycle) {
+  const auto spec = square_wave(4.0, 6.0, 150.0, 50.0, 10);
+  EXPECT_NEAR(spec.fraction_above(110.0), 0.4, 1e-9);
+}
+
+TEST(Synthetic, SawtoothSlopeIsExact) {
+  const auto spec = sawtooth(10.0, 50.0, 150.0, 3);
+  // Rising at 10 W/s: demand at t=5 into a cycle is 100.
+  EXPECT_NEAR(spec.demand_at(5.0), 100.0, 1e-9);
+}
+
+TEST(Synthetic, StepShape) {
+  const auto spec = step(20.0, 60.0, 40.0, 160.0);
+  EXPECT_DOUBLE_EQ(spec.demand_at(10.0), 40.0);
+  EXPECT_DOUBLE_EQ(spec.demand_at(50.0), 160.0);
+  EXPECT_EQ(spec.power_type, PowerType::kHigh);  // 60 of 81 s above 110
+}
+
+TEST(Synthetic, FlatIsFlat) {
+  const auto spec = flat(50.0, 80.0);
+  EXPECT_DOUBLE_EQ(spec.demand_at(0.0), 80.0);
+  EXPECT_DOUBLE_EQ(spec.demand_at(49.0), 80.0);
+  EXPECT_EQ(spec.power_type, PowerType::kLow);
+}
+
+TEST(Synthetic, RandomWalkStaysInRangeAndIsDeterministic) {
+  const auto a = random_walk(50, 5.0, 40.0, 160.0, 20.0, 7);
+  const auto b = random_walk(50, 5.0, 40.0, 160.0, 20.0, 7);
+  for (Seconds t = 0.0; t < a.nominal_duration(); t += 2.0) {
+    EXPECT_GE(a.demand_at(t), 40.0 - 1e-9);
+    EXPECT_LE(a.demand_at(t), 160.0 + 1e-9);
+    EXPECT_DOUBLE_EQ(a.demand_at(t), b.demand_at(t));
+  }
+  const auto c = random_walk(50, 5.0, 40.0, 160.0, 20.0, 8);
+  EXPECT_NE(a.demand_at(25.0), c.demand_at(25.0));
+}
+
+TEST(Synthetic, RejectsBadParameters) {
+  EXPECT_THROW(square_wave(0.0, 1.0, 150, 50, 1), std::invalid_argument);
+  EXPECT_THROW(square_wave(1.0, 1.0, 150, 50, 0), std::invalid_argument);
+  EXPECT_THROW(sawtooth(1.0, 150, 50, 1), std::invalid_argument);
+  EXPECT_THROW(step(-1.0, 1.0, 40, 160), std::invalid_argument);
+  EXPECT_THROW(flat(0.0, 80), std::invalid_argument);
+  EXPECT_THROW(random_walk(0, 1.0, 40, 160, 5, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dps

@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <vector>
+
+#include "workloads/trace_workload.hpp"
+
+namespace dps {
+namespace {
+
+TEST(TraceWorkload, RampsBetweenDistinctSamples) {
+  const std::vector<double> samples = {50.0, 100.0, 150.0};
+  const auto spec = workload_from_samples(samples, 1.0, "trace");
+  EXPECT_DOUBLE_EQ(spec.nominal_duration(), 2.0);
+  EXPECT_DOUBLE_EQ(spec.demand_at(0.0), 50.0);
+  EXPECT_DOUBLE_EQ(spec.demand_at(0.5), 75.0);
+  EXPECT_DOUBLE_EQ(spec.demand_at(1.5), 125.0);
+}
+
+TEST(TraceWorkload, MergesEqualRunsIntoHolds) {
+  const std::vector<double> samples = {80.0, 80.0, 80.0, 80.0, 120.0};
+  const auto spec = workload_from_samples(samples, 2.0, "trace");
+  ASSERT_EQ(spec.segments.size(), 2u);
+  EXPECT_DOUBLE_EQ(spec.segments[0].duration, 6.0);  // 3 merged intervals
+  EXPECT_DOUBLE_EQ(spec.segments[0].start_power, 80.0);
+  EXPECT_DOUBLE_EQ(spec.segments[1].end_power, 120.0);
+}
+
+TEST(TraceWorkload, NoSyntheticJitter) {
+  const std::vector<double> samples = {50.0, 60.0};
+  const auto spec = workload_from_samples(samples, 1.0, "trace");
+  EXPECT_DOUBLE_EQ(spec.duration_jitter, 0.0);
+  EXPECT_DOUBLE_EQ(spec.power_jitter, 0.0);
+  EXPECT_DOUBLE_EQ(spec.socket_skew, 0.0);
+}
+
+TEST(TraceWorkload, RejectsDegenerateInput) {
+  const std::vector<double> one = {50.0};
+  EXPECT_THROW(workload_from_samples(one, 1.0, "x"), std::runtime_error);
+  const std::vector<double> two = {50.0, 60.0};
+  EXPECT_THROW(workload_from_samples(two, 0.0, "x"), std::runtime_error);
+}
+
+TEST(TraceWorkload, ClassifiesPowerTypes) {
+  WorkloadSpec low;
+  low.segments = {hold(100, 60.0), hold(5, 120.0)};
+  EXPECT_EQ(classify_power_type(low), PowerType::kLow);
+
+  WorkloadSpec mid;
+  mid.segments = {hold(60, 150.0), hold(60, 60.0)};
+  EXPECT_EQ(classify_power_type(mid), PowerType::kMid);
+
+  WorkloadSpec high;
+  high.segments = {hold(90, 150.0), hold(10, 60.0)};
+  EXPECT_EQ(classify_power_type(high), PowerType::kHigh);
+}
+
+TEST(TraceWorkload, CsvRoundTrip) {
+  const std::string path = testing::TempDir() + "/trace_roundtrip.csv";
+  {
+    std::ofstream out(path);
+    out << "time_s,power_w\n";
+    out << "0,50\n1,50\n2,140\n3,140\n4,60\n";
+  }
+  const auto spec = workload_from_trace_csv(path, "recorded");
+  EXPECT_EQ(spec.name, "recorded");
+  EXPECT_DOUBLE_EQ(spec.nominal_duration(), 4.0);
+  EXPECT_DOUBLE_EQ(spec.demand_at(0.5), 50.0);
+  EXPECT_NEAR(spec.demand_at(1.5), 95.0, 1e-9);  // ramp 50 -> 140
+  EXPECT_DOUBLE_EQ(spec.demand_at(2.5), 140.0);
+}
+
+TEST(TraceWorkload, CsvSkipsHeaderAndJunk) {
+  const std::string path = testing::TempDir() + "/trace_junk.csv";
+  {
+    std::ofstream out(path);
+    out << "# a comment-ish line\n";
+    out << "time,power\n";
+    out << "0,100\n";
+    out << "not,a,number\n";
+    out << "1,110\n";
+  }
+  const auto spec = workload_from_trace_csv(path, "x");
+  EXPECT_DOUBLE_EQ(spec.nominal_duration(), 1.0);
+}
+
+TEST(TraceWorkload, CsvErrors) {
+  EXPECT_THROW(workload_from_trace_csv("/no/such/file.csv", "x"),
+               std::runtime_error);
+  const std::string path = testing::TempDir() + "/trace_short.csv";
+  {
+    std::ofstream out(path);
+    out << "0,100\n";
+  }
+  EXPECT_THROW(workload_from_trace_csv(path, "x"), std::runtime_error);
+}
+
+TEST(TraceWorkload, InferredPeriodFromTimeColumn) {
+  const std::string path = testing::TempDir() + "/trace_period.csv";
+  {
+    std::ofstream out(path);
+    out << "0,50\n0.5,70\n1.0,90\n";
+  }
+  const auto spec = workload_from_trace_csv(path, "x");
+  EXPECT_DOUBLE_EQ(spec.nominal_duration(), 1.0);  // 2 ramps x 0.5 s
+}
+
+}  // namespace
+}  // namespace dps

@@ -1,0 +1,69 @@
+/// analyze — post-process a recorded telemetry trace (the counterpart of
+/// the paper artifact's analysis/plotting scripts, printing tables instead
+/// of figures). Input: the CSV format TraceRecorder / `exp --trace` /
+/// `trace_explorer` emit.
+///
+/// Usage:
+///   analyze <trace.csv> [--split N]
+///
+/// --split N treats units [0, N) as cluster A and [N, end) as cluster B
+/// (default: half/half), for the satisfaction/fairness computation.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "analysis/trace_analysis.hpp"
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dps;
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: analyze <trace.csv> [--split N]\n");
+    return 2;
+  }
+  const std::string path = argv[1];
+  int split = -1;
+  for (int i = 2; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == "--split") split = std::atoi(argv[i + 1]);
+  }
+
+  try {
+    const auto trace = Trace::load_csv(path);
+    const int units = trace.num_units();
+    if (split < 0) split = units / 2;
+
+    std::printf("%s: %d units, %zu samples/unit, mean cap sum %.1f W\n\n",
+                path.c_str(), units, trace.unit(0).time.size(),
+                trace.mean_cap_sum());
+
+    Table table({"unit", "satisfaction", "starved share", "phases",
+                 "longest [s]", "max peak [W]", "high-pri share"});
+    for (int u = 0; u < units; ++u) {
+      const auto phases = trace.phases_of(u);
+      const double high_share = trace.high_priority_share(u);
+      table.add_row({std::to_string(u),
+                     format_double(trace.satisfaction_of(u), 3),
+                     format_double(trace.starved_share(u), 3),
+                     std::to_string(phases.phase_count),
+                     format_double(phases.longest, 0),
+                     format_double(phases.max_peak, 0),
+                     high_share < 0.0 ? "-" : format_double(high_share, 2)});
+    }
+    table.print();
+
+    if (split > 0 && split < units) {
+      std::vector<int> group_a, group_b;
+      for (int u = 0; u < split; ++u) group_a.push_back(u);
+      for (int u = split; u < units; ++u) group_b.push_back(u);
+      std::printf("\nfairness(units 0..%d vs %d..%d) = %.3f (Eq. 2)\n",
+                  split - 1, split, units - 1,
+                  trace.group_fairness(group_a, group_b));
+    }
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "analyze: %s\n", error.what());
+    return 1;
+  }
+  return 0;
+}

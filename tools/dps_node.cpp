@@ -1,0 +1,141 @@
+/// dps_node — the per-node client daemon. Connects every local
+/// power-capping unit to a dpsd controller, reporting its power each round
+/// and applying the caps it receives.
+///
+/// Two backends:
+///   --sysfs [ROOT]   real Intel RAPL through the Linux powercap tree
+///                    (one connection per package domain; needs root to
+///                    write caps);
+///   --simulate N     N synthetic units following a random-walk power
+///                    trace — lets the whole control plane be exercised on
+///                    any machine (this is what the smoke test drives).
+///
+/// Usage:
+///   dps_node --host 10.0.0.1 --port 9571 --sysfs
+///   dps_node --port 9571 --simulate 2 --seed 7 [--rounds N]
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/client.hpp"
+#include "power/rapl_sysfs.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace dps;
+
+void print_usage() {
+  std::printf(
+      "dps_node — per-node DPS client daemon\n\n"
+      "  --host ADDR      controller IPv4 address   [127.0.0.1]\n"
+      "  --port P         controller TCP port       [9571]\n"
+      "  --sysfs [ROOT]   drive real RAPL domains (default powercap root)\n"
+      "  --simulate N     drive N synthetic units instead\n"
+      "  --seed S         random-walk seed for --simulate [1]\n");
+}
+
+/// Synthetic unit for --simulate: a bounded random walk that respects the
+/// cap it is given, mimicking a capped socket.
+class SimulatedUnit {
+ public:
+  explicit SimulatedUnit(std::uint64_t seed)
+      : rng_(seed), level_(rng_.uniform(40.0, 150.0)) {}
+
+  Watts read_power() {
+    level_ = std::clamp(level_ + rng_.normal(0.0, 6.0), 22.0, 160.0);
+    return std::min(level_, cap_);
+  }
+
+  void set_cap(Watts cap) { cap_ = cap; }
+
+ private:
+  Rng rng_;
+  double level_;
+  Watts cap_ = 165.0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace dps;
+
+  std::string host = "127.0.0.1";
+  int port = 9571;
+  bool use_sysfs = false;
+  std::string sysfs_root = SysfsRapl::kDefaultRoot;
+  int simulate = 0;
+  std::uint64_t seed = 1;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      print_usage();
+      return 0;
+    } else if (arg == "--host" && i + 1 < argc) {
+      host = argv[++i];
+    } else if (arg == "--port" && i + 1 < argc) {
+      port = std::atoi(argv[++i]);
+    } else if (arg == "--sysfs") {
+      use_sysfs = true;
+      if (i + 1 < argc && argv[i + 1][0] != '-') sysfs_root = argv[++i];
+    } else if (arg == "--simulate" && i + 1 < argc) {
+      simulate = std::atoi(argv[++i]);
+    } else if (arg == "--seed" && i + 1 < argc) {
+      seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      print_usage();
+      return 2;
+    }
+  }
+  if (use_sysfs == (simulate > 0)) {
+    std::fprintf(stderr,
+                 "error: pass exactly one of --sysfs or --simulate N\n");
+    return 2;
+  }
+
+  try {
+    std::vector<std::thread> unit_threads;
+    if (use_sysfs) {
+      auto rapl = std::make_shared<SysfsRapl>(sysfs_root);
+      std::printf("dps_node: %d RAPL package domains under %s\n",
+                  rapl->num_units(), sysfs_root.c_str());
+      for (int u = 0; u < rapl->num_units(); ++u) {
+        unit_threads.emplace_back([rapl, u, host, port] {
+          NodeClient client([rapl, u] { return rapl->read_power(u); },
+                            [rapl, u](Watts cap) { rapl->set_cap(u, cap); });
+          client.connect(static_cast<std::uint16_t>(port), host);
+          const int rounds = client.run();
+          std::printf("dps_node: unit %d finished after %d rounds\n", u,
+                      rounds);
+        });
+      }
+    } else {
+      std::printf("dps_node: %d simulated units -> %s:%d\n", simulate,
+                  host.c_str(), port);
+      for (int u = 0; u < simulate; ++u) {
+        unit_threads.emplace_back([u, host, port, seed] {
+          auto unit = std::make_shared<SimulatedUnit>(
+              seed + static_cast<std::uint64_t>(u) * 7919);
+          NodeClient client([unit] { return unit->read_power(); },
+                            [unit](Watts cap) { unit->set_cap(cap); });
+          client.connect(static_cast<std::uint16_t>(port), host);
+          const int rounds = client.run();
+          std::printf("dps_node: unit %d finished after %d rounds\n", u,
+                      rounds);
+        });
+      }
+    }
+    for (auto& t : unit_threads) t.join();
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "dps_node: fatal: %s\n", error.what());
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,179 @@
+/// dpsd — the central controller daemon: the production deployment shape
+/// of Section 4.3. Listens for one TCP connection per power-capping unit,
+/// then runs the one-second decision loop until SIGINT/SIGTERM, printing
+/// periodic stats.
+///
+/// Usage:
+///   dpsd --units N [--port P] [--budget W] [--tdp W] [--min-cap W]
+///        [--manager dps|slurm|constant|p2p] [--config file.ini]
+///        [--period seconds] [--bind-any] [--rounds N]
+///
+/// Example (one controller, 20 sockets, 2200 W cluster budget):
+///   dpsd --units 20 --port 9571 --budget 2200
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "core/config_io.hpp"
+#include "core/dps_manager.hpp"
+#include "managers/constant.hpp"
+#include "managers/slurm_stateless.hpp"
+#include "net/server.hpp"
+#include "p2p/p2p_manager.hpp"
+
+namespace {
+
+std::atomic<bool> g_stop{false};
+
+void handle_signal(int) { g_stop = true; }
+
+void print_usage() {
+  std::printf(
+      "dpsd — DPS central controller daemon\n\n"
+      "  --units N          number of power-capping units (required)\n"
+      "  --port P           TCP port                        [9571]\n"
+      "  --budget W         cluster-wide budget in watts    [110 * units]\n"
+      "  --tdp W            per-unit TDP                    [165]\n"
+      "  --min-cap W        per-unit minimum cap            [40]\n"
+      "  --manager M        dps | slurm | constant | p2p    [dps]\n"
+      "  --config FILE      INI with [dps]/[stateless] sections\n"
+      "  --period SECONDS   decision-loop period            [1.0]\n"
+      "  --rounds N         stop after N rounds (0 = until signal)\n"
+      "  --bind-any         listen on all interfaces, not just loopback\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace dps;
+
+  int units = 0;
+  int port = 9571;
+  double budget = 0.0;
+  double tdp = 165.0;
+  double min_cap = 40.0;
+  double period = 1.0;
+  long max_rounds = 0;
+  bool bind_any = false;
+  std::string manager_name = "dps";
+  std::string config_path;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--help" || arg == "-h") {
+      print_usage();
+      return 0;
+    } else if (arg == "--units" && value()) {
+      units = std::atoi(argv[i]);
+    } else if (arg == "--port" && value()) {
+      port = std::atoi(argv[i]);
+    } else if (arg == "--budget" && value()) {
+      budget = std::atof(argv[i]);
+    } else if (arg == "--tdp" && value()) {
+      tdp = std::atof(argv[i]);
+    } else if (arg == "--min-cap" && value()) {
+      min_cap = std::atof(argv[i]);
+    } else if (arg == "--period" && value()) {
+      period = std::atof(argv[i]);
+    } else if (arg == "--rounds" && value()) {
+      max_rounds = std::atol(argv[i]);
+    } else if (arg == "--manager" && value()) {
+      manager_name = argv[i];
+    } else if (arg == "--config" && value()) {
+      config_path = argv[i];
+    } else if (arg == "--bind-any") {
+      bind_any = true;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      print_usage();
+      return 2;
+    }
+  }
+  if (units <= 0) {
+    std::fprintf(stderr, "error: --units is required\n");
+    print_usage();
+    return 2;
+  }
+  if (budget <= 0.0) budget = 110.0 * units;
+
+  try {
+    DpsConfig dps_config;
+    if (!config_path.empty()) {
+      dps_config = dps_config_from_file(config_path);
+    }
+
+    std::unique_ptr<PowerManager> manager;
+    if (manager_name == "dps") {
+      manager = std::make_unique<DpsManager>(dps_config);
+    } else if (manager_name == "slurm") {
+      manager = std::make_unique<SlurmStatelessManager>();
+    } else if (manager_name == "constant") {
+      manager = std::make_unique<ConstantManager>();
+    } else if (manager_name == "p2p") {
+      manager = std::make_unique<P2pManager>();
+    } else {
+      std::fprintf(stderr, "error: unknown manager %s\n",
+                   manager_name.c_str());
+      return 2;
+    }
+
+    std::signal(SIGINT, handle_signal);
+    std::signal(SIGTERM, handle_signal);
+
+    ControlServer server(static_cast<std::uint16_t>(port), units, bind_any);
+    std::printf("dpsd: %s manager, %d units, %.0f W budget, port %u%s\n",
+                manager_name.c_str(), units, budget, server.port(),
+                bind_any ? " (all interfaces)" : " (loopback)");
+    std::printf("dpsd: waiting for %d clients...\n", units);
+    server.accept_all();
+    std::printf("dpsd: all clients connected, starting the decision loop\n");
+
+    ManagerContext ctx;
+    ctx.num_units = units;
+    ctx.total_budget = budget;
+    ctx.tdp = tdp;
+    ctx.min_cap = min_cap;
+    ctx.dt = period;
+    server.begin_session(*manager, ctx);
+
+    std::uint64_t decide_ns = 0;
+    long rounds = 0;
+    const auto period_duration =
+        std::chrono::duration<double>(period);
+    auto next_tick = std::chrono::steady_clock::now();
+    while (!g_stop && (max_rounds == 0 || rounds < max_rounds)) {
+      decide_ns += server.run_round(*manager);
+      ++rounds;
+      if (rounds % 60 == 0) {
+        Watts total = 0.0;
+        for (const Watts c : server.last_caps()) total += c;
+        std::printf(
+            "dpsd: round %ld, cap sum %.1f/%.0f W, decide %.1f us/round, "
+            "writes %llu keeps %llu\n",
+            rounds, total, budget,
+            1e-3 * static_cast<double>(decide_ns) / rounds,
+            static_cast<unsigned long long>(server.set_cap_messages()),
+            static_cast<unsigned long long>(server.keep_cap_messages()));
+      }
+      next_tick += std::chrono::duration_cast<
+          std::chrono::steady_clock::duration>(period_duration);
+      std::this_thread::sleep_until(next_tick);
+    }
+
+    std::printf("dpsd: shutting down after %ld rounds\n", rounds);
+    server.shutdown();
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "dpsd: fatal: %s\n", error.what());
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,228 @@
+/// exp — the command-line experiment driver, mirroring the paper
+/// artifact's exp.py: run any workload pair under any power management
+/// system with any repeat count, and print the metrics the paper reports.
+///
+/// Usage:
+///   exp --a <workload> --b <workload> [--manager constant|slurm|oracle|dps]
+///       [--repeats N] [--seed S] [--budget W] [--sockets N]
+///       [--trace out.csv] [--list]
+///
+/// Examples:
+///   exp --list
+///   exp --a Kmeans --b GMM --manager dps --repeats 3
+///   exp --a LDA --b EP --manager slurm --trace slurm_lda_ep.csv
+
+#include <cstdio>
+#include <cstring>
+#include <optional>
+#include <string>
+
+#include "core/dps_manager.hpp"
+#include "experiments/pair_runner.hpp"
+#include "experiments/registry.hpp"
+#include "managers/constant.hpp"
+#include "managers/oracle.hpp"
+#include "managers/slurm_stateless.hpp"
+#include "sim/engine.hpp"
+#include "util/csv.hpp"
+#include "util/table.hpp"
+#include "workloads/npb_suite.hpp"
+#include "workloads/spark_suite.hpp"
+
+namespace {
+
+using namespace dps;
+
+struct Options {
+  std::string a = "Kmeans";
+  std::string b = "GMM";
+  std::string manager = "dps";
+  int repeats = 2;
+  std::uint64_t seed = 42;
+  double budget_per_socket = 110.0;
+  int sockets = 10;
+  std::optional<std::string> trace_path;
+  bool list = false;
+  bool help = false;
+};
+
+void print_usage() {
+  std::printf(
+      "exp — run one workload pair under a power manager (see exp.py in\n"
+      "the paper's artifact).\n\n"
+      "  --a <name>        workload on cluster A            [Kmeans]\n"
+      "  --b <name>        workload on cluster B            [GMM]\n"
+      "  --manager <name>  constant | slurm | oracle | dps  [dps]\n"
+      "  --repeats <n>     completed runs per workload      [2]\n"
+      "  --seed <n>        jitter seed                      [42]\n"
+      "  --budget <watts>  per-socket cluster budget        [110]\n"
+      "  --sockets <n>     sockets per cluster              [10]\n"
+      "  --trace <path>    dump per-step telemetry CSV\n"
+      "  --list            list the available workloads\n");
+}
+
+std::optional<Options> parse(int argc, char** argv) {
+  Options options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) return nullptr;
+      return argv[++i];
+    };
+    if (arg == "--list") {
+      options.list = true;
+    } else if (arg == "--help" || arg == "-h") {
+      options.help = true;
+    } else if (arg == "--a") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      options.a = v;
+    } else if (arg == "--b") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      options.b = v;
+    } else if (arg == "--manager") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      options.manager = v;
+    } else if (arg == "--repeats") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      options.repeats = std::atoi(v);
+    } else if (arg == "--seed") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      options.seed = static_cast<std::uint64_t>(std::atoll(v));
+    } else if (arg == "--budget") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      options.budget_per_socket = std::atof(v);
+    } else if (arg == "--sockets") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      options.sockets = std::atoi(v);
+    } else if (arg == "--trace") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      options.trace_path = v;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      return std::nullopt;
+    }
+  }
+  return options;
+}
+
+ManagerKind manager_kind(const std::string& name) {
+  if (name == "constant") return ManagerKind::kConstant;
+  if (name == "slurm") return ManagerKind::kSlurm;
+  if (name == "oracle") return ManagerKind::kOracle;
+  if (name == "dps") return ManagerKind::kDps;
+  throw std::invalid_argument("unknown manager: " + name);
+}
+
+void list_workloads() {
+  Table table({"workload", "suite", "power type", "nominal [s]",
+               "paper latency [s]", "above 110W (paper)"});
+  for (const auto& name : all_workload_names()) {
+    const auto spec = workload_by_name(name);
+    const auto paper = paper_stats_by_name(name);
+    table.add_row({name,
+                   spec.power_type == PowerType::kNpb ? "NPB" : "HiBench",
+                   to_string(spec.power_type),
+                   format_double(spec.nominal_duration(), 0),
+                   format_double(paper.duration, 1),
+                   format_double(paper.above_110_fraction * 100.0, 2) + "%"});
+  }
+  table.print();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto options = parse(argc, argv);
+  if (!options) {
+    print_usage();
+    return 2;
+  }
+  if (options->help) {
+    print_usage();
+    return 0;
+  }
+  if (options->list) {
+    list_workloads();
+    return 0;
+  }
+
+  try {
+    ExperimentParams params;
+    params.repeats = options->repeats;
+    params.seed = options->seed;
+    params.budget_per_socket = options->budget_per_socket;
+    params.sockets_per_cluster = options->sockets;
+    PairRunner runner(params);
+
+    const auto workload_a = workload_by_name(options->a);
+    const auto workload_b = workload_by_name(options->b);
+    const auto kind = manager_kind(options->manager);
+    const auto outcome = runner.run_pair(workload_a, workload_b, kind);
+
+    std::printf("%s + %s under %s (%d repeats, %.0f W/socket, %d+%d "
+                "sockets)\n\n",
+                options->a.c_str(), options->b.c_str(),
+                options->manager.c_str(), options->repeats,
+                options->budget_per_socket, options->sockets,
+                options->sockets);
+    Table table({"metric", options->a, options->b});
+    table.add_row({"runs completed", std::to_string(outcome.a.latencies.size()),
+                   std::to_string(outcome.b.latencies.size())});
+    table.add_row({"hmean latency [s]",
+                   format_double(outcome.a.hmean_latency, 1),
+                   format_double(outcome.b.hmean_latency, 1)});
+    table.add_row({"speedup vs constant", format_double(outcome.a.speedup, 4),
+                   format_double(outcome.b.speedup, 4)});
+    table.add_row({"mean power [W]", format_double(outcome.a.mean_power, 1),
+                   format_double(outcome.b.mean_power, 1)});
+    table.add_row({"satisfaction", format_double(outcome.a.satisfaction, 3),
+                   format_double(outcome.b.satisfaction, 3)});
+    table.print();
+    std::printf("\npair hmean speedup: %s   fairness: %s   peak cap sum: "
+                "%.1f W (budget %.0f W)\n",
+                format_double(outcome.pair_hmean, 4).c_str(),
+                format_double(outcome.fairness, 4).c_str(),
+                outcome.peak_cap_sum,
+                options->budget_per_socket * 2 * options->sockets);
+
+    if (options->trace_path) {
+      // Re-run with tracing enabled through the lower-level API.
+      std::printf("\n(writing telemetry trace to %s)\n",
+                  options->trace_path->c_str());
+      EngineConfig config;
+      config.target_completions = 1;
+      config.record_trace = true;
+      config.total_budget =
+          options->budget_per_socket * 2 * options->sockets;
+      config.max_time = 50000.0;
+      Cluster cluster(
+          {GroupSpec{workload_a, options->sockets, options->seed},
+           GroupSpec{workload_b, options->sockets, options->seed + 1}});
+      SimulatedRapl rapl(cluster.total_units());
+      DpsManager dps;
+      SlurmStatelessManager slurm;
+      ConstantManager constant;
+      OracleManager oracle(
+          [&cluster](std::span<Watts> out) { cluster.true_demands(out); });
+      PowerManager* manager = &dps;
+      if (kind == ManagerKind::kSlurm) manager = &slurm;
+      if (kind == ManagerKind::kConstant) manager = &constant;
+      if (kind == ManagerKind::kOracle) manager = &oracle;
+      const auto result =
+          SimulationEngine(config).run(cluster, rapl, *manager);
+      result.trace->write_csv(*options->trace_path);
+    }
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return 1;
+  }
+  return 0;
+}
