@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_budget_sweep.dir/ext_budget_sweep.cpp.o"
+  "CMakeFiles/ext_budget_sweep.dir/ext_budget_sweep.cpp.o.d"
+  "ext_budget_sweep"
+  "ext_budget_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_budget_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

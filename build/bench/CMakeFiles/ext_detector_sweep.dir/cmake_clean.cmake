@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_detector_sweep.dir/ext_detector_sweep.cpp.o"
+  "CMakeFiles/ext_detector_sweep.dir/ext_detector_sweep.cpp.o.d"
+  "ext_detector_sweep"
+  "ext_detector_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_detector_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_feedback.dir/ext_feedback.cpp.o"
+  "CMakeFiles/ext_feedback.dir/ext_feedback.cpp.o.d"
+  "ext_feedback"
+  "ext_feedback.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_feedback.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

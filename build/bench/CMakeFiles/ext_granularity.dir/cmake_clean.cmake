@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_granularity.dir/ext_granularity.cpp.o"
+  "CMakeFiles/ext_granularity.dir/ext_granularity.cpp.o.d"
+  "ext_granularity"
+  "ext_granularity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_granularity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

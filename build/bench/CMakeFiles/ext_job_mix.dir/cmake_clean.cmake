@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_job_mix.dir/ext_job_mix.cpp.o"
+  "CMakeFiles/ext_job_mix.dir/ext_job_mix.cpp.o.d"
+  "ext_job_mix"
+  "ext_job_mix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_job_mix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_p2p.dir/ext_p2p.cpp.o"
+  "CMakeFiles/ext_p2p.dir/ext_p2p.cpp.o.d"
+  "ext_p2p"
+  "ext_p2p.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_p2p.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_power_emergency.dir/ext_power_emergency.cpp.o"
+  "CMakeFiles/ext_power_emergency.dir/ext_power_emergency.cpp.o.d"
+  "ext_power_emergency"
+  "ext_power_emergency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_power_emergency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_motivational.dir/fig1_motivational.cpp.o"
+  "CMakeFiles/fig1_motivational.dir/fig1_motivational.cpp.o.d"
+  "fig1_motivational"
+  "fig1_motivational.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_motivational.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

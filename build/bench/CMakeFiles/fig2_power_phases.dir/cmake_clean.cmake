@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_power_phases.dir/fig2_power_phases.cpp.o"
+  "CMakeFiles/fig2_power_phases.dir/fig2_power_phases.cpp.o.d"
+  "fig2_power_phases"
+  "fig2_power_phases.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_power_phases.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

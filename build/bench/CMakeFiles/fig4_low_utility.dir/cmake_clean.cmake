@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_low_utility.dir/fig4_low_utility.cpp.o"
+  "CMakeFiles/fig4_low_utility.dir/fig4_low_utility.cpp.o.d"
+  "fig4_low_utility"
+  "fig4_low_utility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_low_utility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_high_utility.dir/fig5_high_utility.cpp.o"
+  "CMakeFiles/fig5_high_utility.dir/fig5_high_utility.cpp.o.d"
+  "fig5_high_utility"
+  "fig5_high_utility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_high_utility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_spark_npb.dir/fig6_spark_npb.cpp.o"
+  "CMakeFiles/fig6_spark_npb.dir/fig6_spark_npb.cpp.o.d"
+  "fig6_spark_npb"
+  "fig6_spark_npb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_spark_npb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_fairness.dir/fig7_fairness.cpp.o"
+  "CMakeFiles/fig7_fairness.dir/fig7_fairness.cpp.o.d"
+  "fig7_fairness"
+  "fig7_fairness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_fairness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_npb_workloads.dir/table4_npb_workloads.cpp.o"
+  "CMakeFiles/table4_npb_workloads.dir/table4_npb_workloads.cpp.o.d"
+  "table4_npb_workloads"
+  "table4_npb_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_npb_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

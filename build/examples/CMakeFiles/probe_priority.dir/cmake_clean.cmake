@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/probe_priority.dir/probe_priority.cpp.o"
+  "CMakeFiles/probe_priority.dir/probe_priority.cpp.o.d"
+  "probe_priority"
+  "probe_priority.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/probe_priority.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

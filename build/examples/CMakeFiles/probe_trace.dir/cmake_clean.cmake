@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/probe_trace.dir/probe_trace.cpp.o"
+  "CMakeFiles/probe_trace.dir/probe_trace.cpp.o.d"
+  "probe_trace"
+  "probe_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/probe_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

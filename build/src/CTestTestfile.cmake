@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("signal")
+subdirs("power")
+subdirs("workloads")
+subdirs("sim")
+subdirs("managers")
+subdirs("core")
+subdirs("metrics")
+subdirs("net")
+subdirs("p2p")
+subdirs("analysis")
+subdirs("experiments")

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/trace_analysis.cpp" "src/analysis/CMakeFiles/dps_analysis.dir/trace_analysis.cpp.o" "gcc" "src/analysis/CMakeFiles/dps_analysis.dir/trace_analysis.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/dps_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/signal/CMakeFiles/dps_signal.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/dps_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/dps_power.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

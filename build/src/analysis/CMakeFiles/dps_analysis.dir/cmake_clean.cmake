@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dps_analysis.dir/trace_analysis.cpp.o"
+  "CMakeFiles/dps_analysis.dir/trace_analysis.cpp.o.d"
+  "libdps_analysis.a"
+  "libdps_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dps_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/cap_readjuster.cpp" "src/core/CMakeFiles/dps_core.dir/cap_readjuster.cpp.o" "gcc" "src/core/CMakeFiles/dps_core.dir/cap_readjuster.cpp.o.d"
+  "/root/repo/src/core/config_io.cpp" "src/core/CMakeFiles/dps_core.dir/config_io.cpp.o" "gcc" "src/core/CMakeFiles/dps_core.dir/config_io.cpp.o.d"
+  "/root/repo/src/core/dps_manager.cpp" "src/core/CMakeFiles/dps_core.dir/dps_manager.cpp.o" "gcc" "src/core/CMakeFiles/dps_core.dir/dps_manager.cpp.o.d"
+  "/root/repo/src/core/history.cpp" "src/core/CMakeFiles/dps_core.dir/history.cpp.o" "gcc" "src/core/CMakeFiles/dps_core.dir/history.cpp.o.d"
+  "/root/repo/src/core/priority_module.cpp" "src/core/CMakeFiles/dps_core.dir/priority_module.cpp.o" "gcc" "src/core/CMakeFiles/dps_core.dir/priority_module.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/dps_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/signal/CMakeFiles/dps_signal.dir/DependInfo.cmake"
+  "/root/repo/build/src/managers/CMakeFiles/dps_managers.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/dps_power.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

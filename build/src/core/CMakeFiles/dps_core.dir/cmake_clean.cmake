@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dps_core.dir/cap_readjuster.cpp.o"
+  "CMakeFiles/dps_core.dir/cap_readjuster.cpp.o.d"
+  "CMakeFiles/dps_core.dir/config_io.cpp.o"
+  "CMakeFiles/dps_core.dir/config_io.cpp.o.d"
+  "CMakeFiles/dps_core.dir/dps_manager.cpp.o"
+  "CMakeFiles/dps_core.dir/dps_manager.cpp.o.d"
+  "CMakeFiles/dps_core.dir/history.cpp.o"
+  "CMakeFiles/dps_core.dir/history.cpp.o.d"
+  "CMakeFiles/dps_core.dir/priority_module.cpp.o"
+  "CMakeFiles/dps_core.dir/priority_module.cpp.o.d"
+  "libdps_core.a"
+  "libdps_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dps_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

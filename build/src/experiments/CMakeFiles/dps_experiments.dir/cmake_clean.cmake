@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dps_experiments.dir/pair_runner.cpp.o"
+  "CMakeFiles/dps_experiments.dir/pair_runner.cpp.o.d"
+  "CMakeFiles/dps_experiments.dir/registry.cpp.o"
+  "CMakeFiles/dps_experiments.dir/registry.cpp.o.d"
+  "libdps_experiments.a"
+  "libdps_experiments.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dps_experiments.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/managers/constant.cpp" "src/managers/CMakeFiles/dps_managers.dir/constant.cpp.o" "gcc" "src/managers/CMakeFiles/dps_managers.dir/constant.cpp.o.d"
+  "/root/repo/src/managers/feedback.cpp" "src/managers/CMakeFiles/dps_managers.dir/feedback.cpp.o" "gcc" "src/managers/CMakeFiles/dps_managers.dir/feedback.cpp.o.d"
+  "/root/repo/src/managers/hierarchical.cpp" "src/managers/CMakeFiles/dps_managers.dir/hierarchical.cpp.o" "gcc" "src/managers/CMakeFiles/dps_managers.dir/hierarchical.cpp.o.d"
+  "/root/repo/src/managers/manager.cpp" "src/managers/CMakeFiles/dps_managers.dir/manager.cpp.o" "gcc" "src/managers/CMakeFiles/dps_managers.dir/manager.cpp.o.d"
+  "/root/repo/src/managers/mimd.cpp" "src/managers/CMakeFiles/dps_managers.dir/mimd.cpp.o" "gcc" "src/managers/CMakeFiles/dps_managers.dir/mimd.cpp.o.d"
+  "/root/repo/src/managers/oracle.cpp" "src/managers/CMakeFiles/dps_managers.dir/oracle.cpp.o" "gcc" "src/managers/CMakeFiles/dps_managers.dir/oracle.cpp.o.d"
+  "/root/repo/src/managers/slurm_stateless.cpp" "src/managers/CMakeFiles/dps_managers.dir/slurm_stateless.cpp.o" "gcc" "src/managers/CMakeFiles/dps_managers.dir/slurm_stateless.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/dps_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/dps_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/signal/CMakeFiles/dps_signal.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dps_managers.dir/constant.cpp.o"
+  "CMakeFiles/dps_managers.dir/constant.cpp.o.d"
+  "CMakeFiles/dps_managers.dir/feedback.cpp.o"
+  "CMakeFiles/dps_managers.dir/feedback.cpp.o.d"
+  "CMakeFiles/dps_managers.dir/hierarchical.cpp.o"
+  "CMakeFiles/dps_managers.dir/hierarchical.cpp.o.d"
+  "CMakeFiles/dps_managers.dir/manager.cpp.o"
+  "CMakeFiles/dps_managers.dir/manager.cpp.o.d"
+  "CMakeFiles/dps_managers.dir/mimd.cpp.o"
+  "CMakeFiles/dps_managers.dir/mimd.cpp.o.d"
+  "CMakeFiles/dps_managers.dir/oracle.cpp.o"
+  "CMakeFiles/dps_managers.dir/oracle.cpp.o.d"
+  "CMakeFiles/dps_managers.dir/slurm_stateless.cpp.o"
+  "CMakeFiles/dps_managers.dir/slurm_stateless.cpp.o.d"
+  "libdps_managers.a"
+  "libdps_managers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dps_managers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdps_managers.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dps_metrics.dir/metrics.cpp.o"
+  "CMakeFiles/dps_metrics.dir/metrics.cpp.o.d"
+  "libdps_metrics.a"
+  "libdps_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dps_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/client.cpp" "src/net/CMakeFiles/dps_net.dir/client.cpp.o" "gcc" "src/net/CMakeFiles/dps_net.dir/client.cpp.o.d"
+  "/root/repo/src/net/protocol.cpp" "src/net/CMakeFiles/dps_net.dir/protocol.cpp.o" "gcc" "src/net/CMakeFiles/dps_net.dir/protocol.cpp.o.d"
+  "/root/repo/src/net/server.cpp" "src/net/CMakeFiles/dps_net.dir/server.cpp.o" "gcc" "src/net/CMakeFiles/dps_net.dir/server.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/dps_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/dps_power.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dps_net.dir/client.cpp.o"
+  "CMakeFiles/dps_net.dir/client.cpp.o.d"
+  "CMakeFiles/dps_net.dir/protocol.cpp.o"
+  "CMakeFiles/dps_net.dir/protocol.cpp.o.d"
+  "CMakeFiles/dps_net.dir/server.cpp.o"
+  "CMakeFiles/dps_net.dir/server.cpp.o.d"
+  "libdps_net.a"
+  "libdps_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dps_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

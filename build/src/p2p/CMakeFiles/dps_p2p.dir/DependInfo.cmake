@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/p2p/agent.cpp" "src/p2p/CMakeFiles/dps_p2p.dir/agent.cpp.o" "gcc" "src/p2p/CMakeFiles/dps_p2p.dir/agent.cpp.o.d"
+  "/root/repo/src/p2p/exchange.cpp" "src/p2p/CMakeFiles/dps_p2p.dir/exchange.cpp.o" "gcc" "src/p2p/CMakeFiles/dps_p2p.dir/exchange.cpp.o.d"
+  "/root/repo/src/p2p/p2p_manager.cpp" "src/p2p/CMakeFiles/dps_p2p.dir/p2p_manager.cpp.o" "gcc" "src/p2p/CMakeFiles/dps_p2p.dir/p2p_manager.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/dps_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/signal/CMakeFiles/dps_signal.dir/DependInfo.cmake"
+  "/root/repo/build/src/managers/CMakeFiles/dps_managers.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/dps_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/dps_power.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

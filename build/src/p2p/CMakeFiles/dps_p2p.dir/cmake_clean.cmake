@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dps_p2p.dir/agent.cpp.o"
+  "CMakeFiles/dps_p2p.dir/agent.cpp.o.d"
+  "CMakeFiles/dps_p2p.dir/exchange.cpp.o"
+  "CMakeFiles/dps_p2p.dir/exchange.cpp.o.d"
+  "CMakeFiles/dps_p2p.dir/p2p_manager.cpp.o"
+  "CMakeFiles/dps_p2p.dir/p2p_manager.cpp.o.d"
+  "libdps_p2p.a"
+  "libdps_p2p.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dps_p2p.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

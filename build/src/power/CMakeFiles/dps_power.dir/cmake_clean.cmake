@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dps_power.dir/rapl_sim.cpp.o"
+  "CMakeFiles/dps_power.dir/rapl_sim.cpp.o.d"
+  "CMakeFiles/dps_power.dir/rapl_sysfs.cpp.o"
+  "CMakeFiles/dps_power.dir/rapl_sysfs.cpp.o.d"
+  "libdps_power.a"
+  "libdps_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dps_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

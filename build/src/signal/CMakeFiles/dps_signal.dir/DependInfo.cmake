@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/signal/kalman.cpp" "src/signal/CMakeFiles/dps_signal.dir/kalman.cpp.o" "gcc" "src/signal/CMakeFiles/dps_signal.dir/kalman.cpp.o.d"
+  "/root/repo/src/signal/peaks.cpp" "src/signal/CMakeFiles/dps_signal.dir/peaks.cpp.o" "gcc" "src/signal/CMakeFiles/dps_signal.dir/peaks.cpp.o.d"
+  "/root/repo/src/signal/phase_stats.cpp" "src/signal/CMakeFiles/dps_signal.dir/phase_stats.cpp.o" "gcc" "src/signal/CMakeFiles/dps_signal.dir/phase_stats.cpp.o.d"
+  "/root/repo/src/signal/rolling.cpp" "src/signal/CMakeFiles/dps_signal.dir/rolling.cpp.o" "gcc" "src/signal/CMakeFiles/dps_signal.dir/rolling.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/dps_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

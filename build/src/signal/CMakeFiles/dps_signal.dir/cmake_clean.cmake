@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dps_signal.dir/kalman.cpp.o"
+  "CMakeFiles/dps_signal.dir/kalman.cpp.o.d"
+  "CMakeFiles/dps_signal.dir/peaks.cpp.o"
+  "CMakeFiles/dps_signal.dir/peaks.cpp.o.d"
+  "CMakeFiles/dps_signal.dir/phase_stats.cpp.o"
+  "CMakeFiles/dps_signal.dir/phase_stats.cpp.o.d"
+  "CMakeFiles/dps_signal.dir/rolling.cpp.o"
+  "CMakeFiles/dps_signal.dir/rolling.cpp.o.d"
+  "libdps_signal.a"
+  "libdps_signal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dps_signal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/cluster.cpp" "src/sim/CMakeFiles/dps_sim.dir/cluster.cpp.o" "gcc" "src/sim/CMakeFiles/dps_sim.dir/cluster.cpp.o.d"
+  "/root/repo/src/sim/engine.cpp" "src/sim/CMakeFiles/dps_sim.dir/engine.cpp.o" "gcc" "src/sim/CMakeFiles/dps_sim.dir/engine.cpp.o.d"
+  "/root/repo/src/sim/granularity.cpp" "src/sim/CMakeFiles/dps_sim.dir/granularity.cpp.o" "gcc" "src/sim/CMakeFiles/dps_sim.dir/granularity.cpp.o.d"
+  "/root/repo/src/sim/perf_model.cpp" "src/sim/CMakeFiles/dps_sim.dir/perf_model.cpp.o" "gcc" "src/sim/CMakeFiles/dps_sim.dir/perf_model.cpp.o.d"
+  "/root/repo/src/sim/trace.cpp" "src/sim/CMakeFiles/dps_sim.dir/trace.cpp.o" "gcc" "src/sim/CMakeFiles/dps_sim.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/dps_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/dps_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/dps_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/managers/CMakeFiles/dps_managers.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/dps_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/signal/CMakeFiles/dps_signal.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

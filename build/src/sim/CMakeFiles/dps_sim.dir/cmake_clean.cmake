@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dps_sim.dir/cluster.cpp.o"
+  "CMakeFiles/dps_sim.dir/cluster.cpp.o.d"
+  "CMakeFiles/dps_sim.dir/engine.cpp.o"
+  "CMakeFiles/dps_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/dps_sim.dir/granularity.cpp.o"
+  "CMakeFiles/dps_sim.dir/granularity.cpp.o.d"
+  "CMakeFiles/dps_sim.dir/perf_model.cpp.o"
+  "CMakeFiles/dps_sim.dir/perf_model.cpp.o.d"
+  "CMakeFiles/dps_sim.dir/trace.cpp.o"
+  "CMakeFiles/dps_sim.dir/trace.cpp.o.d"
+  "libdps_sim.a"
+  "libdps_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dps_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

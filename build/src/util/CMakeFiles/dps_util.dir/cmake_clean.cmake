@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dps_util.dir/csv.cpp.o"
+  "CMakeFiles/dps_util.dir/csv.cpp.o.d"
+  "CMakeFiles/dps_util.dir/csv_reader.cpp.o"
+  "CMakeFiles/dps_util.dir/csv_reader.cpp.o.d"
+  "CMakeFiles/dps_util.dir/env.cpp.o"
+  "CMakeFiles/dps_util.dir/env.cpp.o.d"
+  "CMakeFiles/dps_util.dir/ini.cpp.o"
+  "CMakeFiles/dps_util.dir/ini.cpp.o.d"
+  "CMakeFiles/dps_util.dir/rng.cpp.o"
+  "CMakeFiles/dps_util.dir/rng.cpp.o.d"
+  "CMakeFiles/dps_util.dir/table.cpp.o"
+  "CMakeFiles/dps_util.dir/table.cpp.o.d"
+  "libdps_util.a"
+  "libdps_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dps_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

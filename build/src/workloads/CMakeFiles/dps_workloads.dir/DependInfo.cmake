@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/instance.cpp" "src/workloads/CMakeFiles/dps_workloads.dir/instance.cpp.o" "gcc" "src/workloads/CMakeFiles/dps_workloads.dir/instance.cpp.o.d"
+  "/root/repo/src/workloads/npb_suite.cpp" "src/workloads/CMakeFiles/dps_workloads.dir/npb_suite.cpp.o" "gcc" "src/workloads/CMakeFiles/dps_workloads.dir/npb_suite.cpp.o.d"
+  "/root/repo/src/workloads/spark_suite.cpp" "src/workloads/CMakeFiles/dps_workloads.dir/spark_suite.cpp.o" "gcc" "src/workloads/CMakeFiles/dps_workloads.dir/spark_suite.cpp.o.d"
+  "/root/repo/src/workloads/spec.cpp" "src/workloads/CMakeFiles/dps_workloads.dir/spec.cpp.o" "gcc" "src/workloads/CMakeFiles/dps_workloads.dir/spec.cpp.o.d"
+  "/root/repo/src/workloads/synthetic.cpp" "src/workloads/CMakeFiles/dps_workloads.dir/synthetic.cpp.o" "gcc" "src/workloads/CMakeFiles/dps_workloads.dir/synthetic.cpp.o.d"
+  "/root/repo/src/workloads/trace_workload.cpp" "src/workloads/CMakeFiles/dps_workloads.dir/trace_workload.cpp.o" "gcc" "src/workloads/CMakeFiles/dps_workloads.dir/trace_workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/dps_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/dps_power.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dps_workloads.dir/instance.cpp.o"
+  "CMakeFiles/dps_workloads.dir/instance.cpp.o.d"
+  "CMakeFiles/dps_workloads.dir/npb_suite.cpp.o"
+  "CMakeFiles/dps_workloads.dir/npb_suite.cpp.o.d"
+  "CMakeFiles/dps_workloads.dir/spark_suite.cpp.o"
+  "CMakeFiles/dps_workloads.dir/spark_suite.cpp.o.d"
+  "CMakeFiles/dps_workloads.dir/spec.cpp.o"
+  "CMakeFiles/dps_workloads.dir/spec.cpp.o.d"
+  "CMakeFiles/dps_workloads.dir/synthetic.cpp.o"
+  "CMakeFiles/dps_workloads.dir/synthetic.cpp.o.d"
+  "CMakeFiles/dps_workloads.dir/trace_workload.cpp.o"
+  "CMakeFiles/dps_workloads.dir/trace_workload.cpp.o.d"
+  "libdps_workloads.a"
+  "libdps_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dps_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

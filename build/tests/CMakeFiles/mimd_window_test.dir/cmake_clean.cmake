@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mimd_window_test.dir/mimd_window_test.cpp.o"
+  "CMakeFiles/mimd_window_test.dir/mimd_window_test.cpp.o.d"
+  "mimd_window_test"
+  "mimd_window_test.pdb"
+  "mimd_window_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mimd_window_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/p2p_test.cpp" "tests/CMakeFiles/p2p_test.dir/p2p_test.cpp.o" "gcc" "tests/CMakeFiles/p2p_test.dir/p2p_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/dps_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/signal/CMakeFiles/dps_signal.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/dps_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/dps_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dps_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/managers/CMakeFiles/dps_managers.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/dps_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/dps_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dps_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/experiments/CMakeFiles/dps_experiments.dir/DependInfo.cmake"
+  "/root/repo/build/src/p2p/CMakeFiles/dps_p2p.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/dps_analysis.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

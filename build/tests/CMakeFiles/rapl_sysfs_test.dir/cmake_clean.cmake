@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rapl_sysfs_test.dir/rapl_sysfs_test.cpp.o"
+  "CMakeFiles/rapl_sysfs_test.dir/rapl_sysfs_test.cpp.o.d"
+  "rapl_sysfs_test"
+  "rapl_sysfs_test.pdb"
+  "rapl_sysfs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rapl_sysfs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dps_node.dir/dps_node.cpp.o"
+  "CMakeFiles/dps_node.dir/dps_node.cpp.o.d"
+  "dps_node"
+  "dps_node.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dps_node.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

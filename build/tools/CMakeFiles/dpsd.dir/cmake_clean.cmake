@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpsd.dir/dpsd.cpp.o"
+  "CMakeFiles/dpsd.dir/dpsd.cpp.o.d"
+  "dpsd"
+  "dpsd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpsd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

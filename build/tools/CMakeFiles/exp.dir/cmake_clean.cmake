@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp.dir/exp.cpp.o"
+  "CMakeFiles/exp.dir/exp.cpp.o.d"
+  "exp"
+  "exp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
