@@ -59,6 +59,10 @@ DpsConfig dps_config_from_ini(const IniFile& ini) {
                config.idle_demote_fraction);
   apply_size(ini, "dps", "idle_demote_steps", config.idle_demote_steps);
   apply_double(ini, "dps", "restore_threshold", config.restore_threshold);
+  apply_bool(ini, "dps", "evict_unresponsive", config.evict_unresponsive);
+  apply_double(ini, "dps", "unresponsive_power_floor",
+               config.unresponsive_power_floor);
+  apply_size(ini, "dps", "unresponsive_steps", config.unresponsive_steps);
   apply_bool(ini, "dps", "use_kalman_filter", config.use_kalman_filter);
   apply_double(ini, "dps", "ewma_alpha", config.ewma_alpha);
   apply_bool(ini, "dps", "use_priority_module", config.use_priority_module);

@@ -24,6 +24,9 @@ namespace dps {
 ///   idle_demote_fraction = 0.65
 ///   idle_demote_steps = 4
 ///   restore_threshold = 0.95
+///   evict_unresponsive = true
+///   unresponsive_power_floor = 8.0
+///   unresponsive_steps = 5
 ///   use_kalman_filter = true
 ///   use_priority_module = true
 ///   use_restore = true

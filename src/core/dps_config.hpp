@@ -66,6 +66,25 @@ struct DpsConfig {
   /// ablation bench can move them independently).
   double restore_threshold = 0.95;
 
+  // --- Resilience hardening (beyond the paper: see docs/architecture.md,
+  // "Fault model & resilience") ---
+
+  /// Evict persistently unresponsive units from the shared pool: a unit
+  /// whose measured power stays below `unresponsive_power_floor` for
+  /// `unresponsive_steps` consecutive steps is clearly not executing
+  /// anything (a healthy idle socket still draws ~20 W of static power) —
+  /// its cap is parked at the hardware minimum and the reclaimed watts are
+  /// redistributed to the live units. The unit is re-admitted the moment
+  /// its power comes back. Mirrors the dead-client handling of the TCP
+  /// control plane (net/server.hpp).
+  bool evict_unresponsive = true;
+  /// Watts below which a unit counts as unresponsive. Must sit well under
+  /// idle power (~22 W) so an idle-but-alive socket is never evicted, and
+  /// above zero so a dead node's noise-free 0 W reading always qualifies.
+  double unresponsive_power_floor = 8.0;
+  /// Consecutive silent steps before eviction.
+  std::size_t unresponsive_steps = 5;
+
   // --- Ablation switches (all on in the paper's system) ---
   bool use_kalman_filter = true;
   /// When the Kalman filter is off and this is positive, the history is

@@ -1,5 +1,7 @@
 #include "core/dps_manager.hpp"
 
+#include <algorithm>
+
 namespace dps {
 
 DpsManager::DpsManager(const DpsConfig& config)
@@ -16,6 +18,8 @@ void DpsManager::reset(const ManagerContext& ctx) {
   priority_.reset(ctx.num_units);
   readjuster_.reset(ctx);
   last_restored_ = false;
+  silent_streak_.assign(static_cast<std::size_t>(ctx.num_units), 0);
+  evicted_.assign(static_cast<std::size_t>(ctx.num_units), false);
 }
 
 void DpsManager::update_budget(Watts new_total_budget) {
@@ -42,11 +46,69 @@ void DpsManager::decide(std::span<const Watts> power, std::span<Watts> caps) {
       std::vector<bool> no_priorities(caps.size(), false);
       last_restored_ = readjuster_.apply(power, no_priorities, caps);
     }
+    if (config_.evict_unresponsive) update_evictions(power, caps);
     return;
   }
 
   // Restore / readjust the stateless module's caps using the priorities.
   last_restored_ = readjuster_.apply(power, priority_.priorities(), caps);
+
+  // Resilience hardening, after the paper's pipeline: a unit that stays
+  // dark despite holding a cap is dead hardware, not a quiet workload —
+  // park it at the minimum and let the living spend its watts. Runs last
+  // so a restore cannot hand a dead unit the constant cap back.
+  if (config_.evict_unresponsive) update_evictions(power, caps);
+}
+
+void DpsManager::update_evictions(std::span<const Watts> power,
+                                  std::span<Watts> caps) {
+  const std::size_t n = caps.size();
+  bool any_evicted = false;
+  for (std::size_t u = 0; u < n; ++u) {
+    if (power[u] < config_.unresponsive_power_floor) {
+      if (silent_streak_[u] <
+          static_cast<int>(config_.unresponsive_steps)) {
+        ++silent_streak_[u];
+      }
+    } else {
+      // Power came back: the node restarted. Re-admit immediately; the
+      // normal pipeline regrows its cap from the minimum.
+      silent_streak_[u] = 0;
+      evicted_[u] = false;
+    }
+    if (silent_streak_[u] >=
+        static_cast<int>(config_.unresponsive_steps)) {
+      evicted_[u] = true;
+    }
+    any_evicted = any_evicted || evicted_[u];
+  }
+  if (!any_evicted) return;
+
+  // Reclaim: evicted units keep only the hardware-minimum cap (RAPL will
+  // not accept less), everything above it is freed.
+  Watts freed = 0.0;
+  Watts live_headroom = 0.0;
+  for (std::size_t u = 0; u < n; ++u) {
+    if (evicted_[u]) {
+      freed += std::max(0.0, caps[u] - ctx_.min_cap);
+      caps[u] = ctx_.min_cap;
+    } else {
+      live_headroom +=
+          std::max(0.0, ctx_.tdp_of(static_cast<int>(u)) - caps[u]);
+    }
+  }
+  if (freed <= 0.0 || live_headroom <= 0.0) return;
+
+  // Redistribute proportionally to headroom: each live unit gets at most
+  // its distance to TDP, so no cap overshoots the hardware and the sum
+  // never grows beyond what was freed (budget stays respected).
+  const double scale = std::min(1.0, freed / live_headroom);
+  for (std::size_t u = 0; u < n; ++u) {
+    if (evicted_[u]) continue;
+    const Watts headroom =
+        std::max(0.0, ctx_.tdp_of(static_cast<int>(u)) - caps[u]);
+    caps[u] += headroom * scale;
+  }
 }
 
 }  // namespace dps

@@ -39,8 +39,15 @@ class DpsManager final : public PowerManager {
   const PriorityModule& priorities() const { return priority_; }
   /// Whether the last decision step restored all caps to constant.
   bool last_step_restored() const { return last_restored_; }
+  /// Units currently evicted from the shared pool as unresponsive (cap
+  /// parked at the hardware minimum, watts redistributed to the living).
+  const std::vector<bool>& evicted() const { return evicted_; }
 
  private:
+  /// Tracks silent streaks, parks evicted units at min cap, and hands the
+  /// reclaimed watts to the live units (proportional to their headroom).
+  void update_evictions(std::span<const Watts> power, std::span<Watts> caps);
+
   DpsConfig config_;
   MimdController stateless_;
   EstimatedPowerHistory history_;
@@ -48,6 +55,8 @@ class DpsManager final : public PowerManager {
   CapReadjuster readjuster_;
   ManagerContext ctx_;
   bool last_restored_ = false;
+  std::vector<int> silent_streak_;
+  std::vector<bool> evicted_;
 };
 
 }  // namespace dps

@@ -1,0 +1,49 @@
+#include "faults/fault_config.hpp"
+
+#include <stdexcept>
+
+namespace dps {
+namespace {
+
+void apply_double(const IniFile& ini, const char* key, double& field) {
+  if (const auto value = ini.get_double("faults", key)) field = *value;
+}
+
+}  // namespace
+
+FaultPlanConfig fault_plan_config_from_ini(const IniFile& ini) {
+  FaultPlanConfig config;
+  if (const auto seed = ini.get_int("faults", "seed")) {
+    config.seed = static_cast<std::uint64_t>(*seed);
+  }
+  apply_double(ini, "horizon", config.horizon);
+  apply_double(ini, "crash_rate", config.crash_rate);
+  apply_double(ini, "sensor_dropout_rate", config.sensor_dropout_rate);
+  apply_double(ini, "sensor_garbage_rate", config.sensor_garbage_rate);
+  apply_double(ini, "cap_stuck_rate", config.cap_stuck_rate);
+  apply_double(ini, "budget_sag_rate", config.budget_sag_rate);
+  apply_double(ini, "min_duration", config.min_duration);
+  apply_double(ini, "max_duration", config.max_duration);
+  apply_double(ini, "sag_floor", config.sag_floor);
+
+  if (config.horizon <= 0.0 || config.min_duration < 0.0 ||
+      config.max_duration < config.min_duration || config.sag_floor <= 0.0 ||
+      config.sag_floor > 1.0 || config.crash_rate < 0.0 ||
+      config.sensor_dropout_rate < 0.0 || config.sensor_garbage_rate < 0.0 ||
+      config.cap_stuck_rate < 0.0 || config.budget_sag_rate < 0.0) {
+    throw std::invalid_argument("[faults]: out-of-range value");
+  }
+  return config;
+}
+
+FaultPlanConfig fault_plan_config_from_file(const std::string& path) {
+  return fault_plan_config_from_ini(IniFile::load(path));
+}
+
+bool any_fault_rate(const FaultPlanConfig& config) {
+  return config.crash_rate > 0.0 || config.sensor_dropout_rate > 0.0 ||
+         config.sensor_garbage_rate > 0.0 || config.cap_stuck_rate > 0.0 ||
+         config.budget_sag_rate > 0.0;
+}
+
+}  // namespace dps

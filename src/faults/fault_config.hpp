@@ -1,0 +1,35 @@
+#pragma once
+
+#include <string>
+
+#include "faults/fault_plan.hpp"
+#include "util/ini.hpp"
+
+namespace dps {
+
+/// Loads a FaultPlanConfig from the `[faults]` section of a DPS INI file
+/// (see configs/dps.ini). Unset keys keep the defaults, so a config only
+/// lists what it changes; unknown keys are ignored (forward
+/// compatibility). Recognized layout:
+///
+///   [faults]
+///   seed = 4242
+///   horizon = 10000            ; [s] events generated on [0, horizon)
+///   crash_rate = 1.0           ; expected events / 1000 s, cluster-wide
+///   sensor_dropout_rate = 1.0
+///   sensor_garbage_rate = 0.5
+///   cap_stuck_rate = 0.5
+///   budget_sag_rate = 0.5
+///   min_duration = 30          ; [s] fault active window, uniform
+///   max_duration = 180         ; [s]
+///   sag_floor = 0.6            ; budget sag scales into [sag_floor, 1)
+///
+/// Throws std::runtime_error on unparsable values (propagated from
+/// IniFile) and std::invalid_argument on out-of-range ones.
+FaultPlanConfig fault_plan_config_from_ini(const IniFile& ini);
+FaultPlanConfig fault_plan_config_from_file(const std::string& path);
+
+/// True when the config would generate any events at all (any rate > 0).
+bool any_fault_rate(const FaultPlanConfig& config);
+
+}  // namespace dps

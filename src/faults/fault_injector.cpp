@@ -1,0 +1,86 @@
+#include "faults/fault_injector.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dps {
+
+FaultInjector::FaultInjector(const FaultPlan& plan, int num_units)
+    : schedule_(plan.events()),
+      crash_(static_cast<std::size_t>(num_units), 0),
+      dropout_(static_cast<std::size_t>(num_units), 0),
+      garbage_(static_cast<std::size_t>(num_units), 0),
+      stuck_(static_cast<std::size_t>(num_units), 0) {
+  if (num_units <= 0) {
+    throw std::invalid_argument("FaultInjector: num_units must be > 0");
+  }
+  for (const auto& e : schedule_) {
+    if (e.kind != FaultKind::kBudgetSag &&
+        (e.unit < 0 || e.unit >= num_units)) {
+      throw std::invalid_argument("FaultInjector: plan unit out of range");
+    }
+  }
+}
+
+void FaultInjector::apply(const FaultEvent& e, int delta) {
+  switch (e.kind) {
+    case FaultKind::kUnitCrash:
+      crash_[static_cast<std::size_t>(e.unit)] += delta;
+      break;
+    case FaultKind::kSensorDropout:
+      dropout_[static_cast<std::size_t>(e.unit)] += delta;
+      break;
+    case FaultKind::kSensorGarbage:
+      garbage_[static_cast<std::size_t>(e.unit)] += delta;
+      break;
+    case FaultKind::kCapStuck:
+      stuck_[static_cast<std::size_t>(e.unit)] += delta;
+      break;
+    case FaultKind::kBudgetSag:
+      if (delta > 0) {
+        sag_factors_.push_back(e.magnitude);
+      } else {
+        const auto it =
+            std::find(sag_factors_.begin(), sag_factors_.end(), e.magnitude);
+        if (it != sag_factors_.end()) sag_factors_.erase(it);
+      }
+      break;
+  }
+  active_count_ += delta;
+}
+
+void FaultInjector::advance(Seconds now) {
+  activated_.clear();
+  cleared_.clear();
+
+  // Activate everything that has come due (plan order == time order).
+  while (next_ < schedule_.size() && schedule_[next_].at <= now) {
+    const FaultEvent& e = schedule_[next_];
+    apply(e, +1);
+    active_.push_back(ActiveEvent{e, e.clears_at()});
+    activated_.push_back(e);
+    ++activated_total_;
+    ++next_;
+  }
+
+  // Clear every active window that has ended (including events whose whole
+  // window fell inside this step: they activate above and clear here, so
+  // short faults are never silently dropped).
+  for (std::size_t i = 0; i < active_.size();) {
+    if (active_[i].clears_at >= 0.0 && active_[i].clears_at <= now) {
+      apply(active_[i].event, -1);
+      cleared_.push_back(active_[i].event);
+      active_.erase(active_.begin() + static_cast<std::ptrdiff_t>(i));
+    } else {
+      ++i;
+    }
+  }
+}
+
+double FaultInjector::budget_factor() const {
+  double factor = 1.0;
+  for (const double f : sag_factors_) factor = std::min(factor, f);
+  return factor;
+}
+
+}  // namespace dps

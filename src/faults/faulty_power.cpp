@@ -1,0 +1,41 @@
+#include "faults/faulty_power.hpp"
+
+#include <cmath>
+
+namespace dps {
+
+FaultyPowerInterface::FaultyPowerInterface(PowerInterface& inner,
+                                           const FaultInjector& injector,
+                                           std::uint64_t garbage_seed)
+    : inner_(inner),
+      injector_(injector),
+      garbage_(garbage_seed),
+      last_good_(static_cast<std::size_t>(inner.num_units()), 0.0) {}
+
+Watts FaultyPowerInterface::read_power(int unit) {
+  if (injector_.crashed(unit)) return 0.0;
+  if (injector_.sensor_dropout(unit)) {
+    return last_good_[static_cast<std::size_t>(unit)];
+  }
+  if (injector_.sensor_garbage(unit)) {
+    // Deliberately *not* stored in last_good_: when the fault clears the
+    // dropout fallback must not replay garbage.
+    return garbage_.uniform(0.0, 2.0 * inner_.tdp());
+  }
+  const Watts value = inner_.read_power(unit);
+  if (!std::isfinite(value) || value < 0.0) {
+    return last_good_[static_cast<std::size_t>(unit)];
+  }
+  last_good_[static_cast<std::size_t>(unit)] = value;
+  return value;
+}
+
+void FaultyPowerInterface::set_cap(int unit, Watts cap) {
+  if (injector_.cap_stuck(unit) || injector_.crashed(unit)) {
+    ++dropped_cap_writes_;
+    return;
+  }
+  inner_.set_cap(unit, cap);
+}
+
+}  // namespace dps

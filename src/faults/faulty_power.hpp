@@ -1,0 +1,51 @@
+#pragma once
+
+#include "faults/fault_injector.hpp"
+#include "power/power_interface.hpp"
+#include "util/rng.hpp"
+
+namespace dps {
+
+/// Decorator that applies the injector's active faults to any
+/// PowerInterface (SimulatedRapl in experiments, SysfsRapl in a live fault
+/// drill). Managers run against it completely unmodified — exactly the
+/// point: DPS must survive hostile telemetry without knowing it exists.
+///
+/// Fault semantics on the manager-facing seam:
+///  * crash          read_power -> 0 W (the node is dark); set_cap dropped.
+///  * sensor dropout read_power -> last good value (stale forever).
+///  * sensor garbage read_power -> deterministic garbage in [0, 2*tdp].
+///  * cap stuck      set_cap silently dropped; the inner interface keeps
+///                   enforcing the cap from before the fault hit.
+///
+/// Independent of faults, readings from the inner interface are
+/// NaN/negative-guarded: a non-finite or negative value is replaced with
+/// the last good reading, so a garbage backend can never poison a manager
+/// with NaN (which would otherwise propagate through every Kalman state).
+class FaultyPowerInterface final : public PowerInterface {
+ public:
+  /// `inner` and `injector` must outlive this object. `garbage_seed`
+  /// determines the garbage-reading stream (bit-reproducible runs).
+  FaultyPowerInterface(PowerInterface& inner, const FaultInjector& injector,
+                       std::uint64_t garbage_seed = 0xbadc0de5ULL);
+
+  int num_units() const override { return inner_.num_units(); }
+  Watts read_power(int unit) override;
+  void set_cap(int unit, Watts cap) override;
+  Watts cap(int unit) const override { return inner_.cap(unit); }
+  Watts tdp() const override { return inner_.tdp(); }
+  Watts min_cap() const override { return inner_.min_cap(); }
+
+  /// set_cap requests swallowed by active faults so far (telemetry for
+  /// tests and the resilience report).
+  std::uint64_t dropped_cap_writes() const { return dropped_cap_writes_; }
+
+ private:
+  PowerInterface& inner_;
+  const FaultInjector& injector_;
+  Rng garbage_;
+  std::vector<Watts> last_good_;
+  std::uint64_t dropped_cap_writes_ = 0;
+};
+
+}  // namespace dps

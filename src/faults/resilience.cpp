@@ -1,0 +1,48 @@
+#include "faults/resilience.hpp"
+
+#include <algorithm>
+
+namespace dps {
+
+void RecoveryTracker::on_cleared(const FaultEvent& event, Seconds now) {
+  pending_.push_back(Pending{event, now});
+}
+
+void RecoveryTracker::step(Seconds now, std::span<const Watts> requested_caps,
+                           Watts budget, Watts constant_cap) {
+  if (pending_.empty()) return;
+  Watts cap_sum = 0.0;
+  for (const Watts c : requested_caps) cap_sum += c;
+  const bool within_budget = cap_sum <= budget + 1e-6;
+
+  for (std::size_t i = 0; i < pending_.size();) {
+    const auto& p = pending_[i];
+    bool recovered = within_budget;
+    if (recovered && p.event.unit >= 0 &&
+        p.event.unit < static_cast<int>(requested_caps.size())) {
+      recovered = requested_caps[static_cast<std::size_t>(p.event.unit)] >=
+                  recovered_cap_fraction_ * constant_cap - 1e-9;
+    }
+    if (recovered) {
+      times_.push_back(std::max(0.0, now - p.cleared_at));
+      pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(i));
+    } else {
+      ++i;
+    }
+  }
+}
+
+int completions_lost(std::span<const std::size_t> faulted_completions,
+                     std::span<const std::size_t> clean_completions) {
+  int lost = 0;
+  const std::size_t n =
+      std::min(faulted_completions.size(), clean_completions.size());
+  for (std::size_t g = 0; g < n; ++g) {
+    if (clean_completions[g] > faulted_completions[g]) {
+      lost += static_cast<int>(clean_completions[g] - faulted_completions[g]);
+    }
+  }
+  return lost;
+}
+
+}  // namespace dps

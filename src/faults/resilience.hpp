@@ -1,0 +1,56 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "faults/fault_plan.hpp"
+
+namespace dps {
+
+/// Tracks how long the manager takes to re-converge after each fault
+/// clears. The engine feeds it the cleared events and, every step, the
+/// requested caps; a fault counts as recovered at the first step where
+///  * the cap sum is back within the in-effect budget, and
+///  * for unit-targeted faults, the affected unit has been granted at
+///    least `recovered_cap_fraction` of the constant (fair-share) cap —
+///    i.e. the manager actually re-admitted the unit instead of leaving
+///    it starved.
+/// Faults that never meet the condition before the run ends produce no
+/// sample (the run result still shows them via faults_injected).
+class RecoveryTracker {
+ public:
+  explicit RecoveryTracker(double recovered_cap_fraction = 0.9)
+      : recovered_cap_fraction_(recovered_cap_fraction) {}
+
+  /// A fault's active window ended at simulated time `now`.
+  void on_cleared(const FaultEvent& event, Seconds now);
+
+  /// One engine step after caps were decided. `budget` is the budget in
+  /// effect this step; `constant_cap` is budget / num_units.
+  void step(Seconds now, std::span<const Watts> requested_caps, Watts budget,
+            Watts constant_cap);
+
+  /// Completed recovery durations, in clearing order.
+  const std::vector<Seconds>& recovery_times() const { return times_; }
+
+  /// Faults cleared but not yet recovered.
+  std::size_t pending() const { return pending_.size(); }
+
+ private:
+  struct Pending {
+    FaultEvent event;
+    Seconds cleared_at;
+  };
+
+  double recovered_cap_fraction_;
+  std::vector<Pending> pending_;
+  std::vector<Seconds> times_;
+};
+
+/// Completions lost to faults: how many fewer runs each group finished
+/// compared with the fault-free twin of the same experiment (clamped at
+/// zero per group — jitter can make a faulted run finish a hair earlier).
+int completions_lost(std::span<const std::size_t> faulted_completions,
+                     std::span<const std::size_t> clean_completions);
+
+}  // namespace dps

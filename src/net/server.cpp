@@ -138,14 +138,16 @@ std::uint64_t ControlServer::run_round(PowerManager& manager) {
   // Collect one 3-byte report from every live unit. Units report
   // concurrently; reading them in order still totals the same bytes and,
   // on loopback, the same syscall count the paper's turnaround analysis
-  // counts. A disconnected client is marked dead; its unit keeps its last
-  // reported power so the manager's budget accounting stays realistic.
+  // counts. A disconnected client is marked dead and reports 0 W from
+  // then on, so the manager sees the node for what it is (dark) and can
+  // redistribute its cap budget to the survivors.
   int alive = 0;
   for (std::size_t u = 0; u < n; ++u) {
     if (client_dead_[u]) continue;
     WireBytes bytes;
     if (!recv_all(client_fds_[u], bytes.data(), bytes.size())) {
       client_dead_[u] = true;
+      power_[u] = 0.0;
       ::close(client_fds_[u]);
       continue;
     }
@@ -183,6 +185,7 @@ std::uint64_t ControlServer::run_round(PowerManager& manager) {
     const auto bytes = encode(message);
     if (!try_send_all(client_fds_[u], bytes.data(), bytes.size())) {
       client_dead_[u] = true;
+      power_[u] = 0.0;
       ::close(client_fds_[u]);
     }
   }

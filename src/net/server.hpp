@@ -49,11 +49,12 @@ class ControlServer {
   /// nanoseconds spent inside manager.decide().
   ///
   /// Fault tolerance: a client that disconnects is marked dead, its unit
-  /// keeps reporting its last known power to the manager (so budget
-  /// accounting stays intact — the node is presumably still drawing
-  /// roughly that), and no further messages are sent to it. The session
-  /// keeps serving the surviving clients; run_round throws only when every
-  /// client is gone.
+  /// reports 0 W to the manager from then on (the node is dark — a
+  /// stateful manager's unresponsive-unit eviction then reclaims its cap
+  /// budget for the survivors, and even a stateless MIMD squeezes the dead
+  /// cap toward the minimum), and no further messages are sent to it. The
+  /// session keeps serving the surviving clients; run_round throws only
+  /// when every client is gone.
   void begin_session(PowerManager& manager, const ManagerContext& ctx);
   std::uint64_t run_round(PowerManager& manager);
 

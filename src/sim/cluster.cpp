@@ -68,6 +68,13 @@ void Cluster::step(Seconds dt, std::span<const Watts> effective_caps,
     auto& unit = units_[u];
     auto& group = groups_[unit.group];
 
+    if (unit.crashed) {
+      // Dark node: no draw, no progress; the group's run stalls on it
+      // until the restart.
+      unit.last_power = 0.0;
+      true_power_out[u] = 0.0;
+      continue;
+    }
     Watts demand = kIdlePower;
     if (!group.in_gap && !unit.done) {
       demand = unit.instance.demand_at(unit.progress, &unit.segment_hint);
@@ -122,7 +129,8 @@ void Cluster::true_demands(std::span<Watts> out) const {
   for (std::size_t u = 0; u < units_.size(); ++u) {
     const auto& unit = units_[u];
     const auto& group = groups_[unit.group];
-    out[u] = (group.in_gap || unit.done)
+    out[u] = unit.crashed              ? 0.0
+             : (group.in_gap || unit.done)
                  ? kIdlePower
                  : unit.instance.demand_at(unit.progress);
   }

@@ -78,6 +78,17 @@ class Cluster {
   /// Group index that unit `u` belongs to.
   int group_of(int u) const { return units_.at(u).group; }
 
+  /// Marks unit `u` crashed / restored (driven by the fault injector). A
+  /// crashed unit draws no power and makes no progress; its group's run
+  /// stalls on it until the restart (a warm restart: work resumes where it
+  /// stopped, as with checkpointed Spark stages / MPI ranks).
+  void set_crashed(int u, bool crashed) {
+    units_.at(static_cast<std::size_t>(u)).crashed = crashed;
+  }
+  bool crashed(int u) const {
+    return units_.at(static_cast<std::size_t>(u)).crashed;
+  }
+
   /// Average true power of unit `u` over the whole simulation (energy /
   /// time); used for satisfaction.
   Watts mean_true_power(int u) const;
@@ -95,6 +106,7 @@ class Cluster {
     Seconds progress = 0.0;
     std::size_t segment_hint = 0;  // amortizes demand lookups
     bool done = false;  // finished its instance, waiting for the group
+    bool crashed = false;  // fault-injected: dark, frozen until restart
     Joules energy = 0.0;
     Watts last_power = 0.0;
   };

@@ -1,6 +1,9 @@
 #include "sim/engine.hpp"
 
 #include "core/dps_manager.hpp"
+#include "faults/fault_injector.hpp"
+#include "faults/faulty_power.hpp"
+#include "faults/resilience.hpp"
 
 #include <algorithm>
 #include <memory>
@@ -46,7 +49,22 @@ EngineResult SimulationEngine::run(Cluster& cluster, SimulatedRapl& rapl,
     result.trace = std::make_shared<TraceRecorder>(n);
   }
 
+  // Fault machinery: absent a plan, the manager talks to the RAPL
+  // directly and none of this costs anything.
+  std::unique_ptr<FaultInjector> injector;
+  std::unique_ptr<FaultyPowerInterface> faulty;
+  RecoveryTracker recovery;
+  if (config_.fault_plan && !config_.fault_plan->empty()) {
+    injector = std::make_unique<FaultInjector>(*config_.fault_plan, n);
+    faulty = std::make_unique<FaultyPowerInterface>(rapl, *injector);
+  }
+  PowerInterface& telemetry =
+      faulty ? static_cast<PowerInterface&>(*faulty) : rapl;
+
   Watts current_budget = config_.total_budget;
+  // Budget actually in effect: the scheduled budget scaled by any active
+  // budget-sag fault. The manager is told on every change.
+  Watts effective_budget = current_budget;
   std::size_t next_change = 0;
 
   int steps = 0;
@@ -56,9 +74,23 @@ EngineResult SimulationEngine::run(Cluster& cluster, SimulatedRapl& rapl,
     while (next_change < config_.budget_schedule.size() &&
            cluster.now() >= config_.budget_schedule[next_change].at) {
       current_budget = config_.budget_schedule[next_change].total_budget;
-      manager.update_budget(current_budget);
       ++next_change;
     }
+    // Deliver fault activations/clears that have come due.
+    if (injector) {
+      injector->advance(cluster.now());
+      for (const auto& e : injector->just_cleared()) {
+        recovery.on_cleared(e, cluster.now());
+      }
+      for (int u = 0; u < n; ++u) cluster.set_crashed(u, injector->crashed(u));
+    }
+    const Watts new_effective =
+        current_budget * (injector ? injector->budget_factor() : 1.0);
+    if (new_effective != effective_budget) {
+      effective_budget = new_effective;
+      manager.update_budget(effective_budget);
+    }
+
     // Advance the system one period under the currently enforced caps.
     std::vector<Watts> effective(static_cast<std::size_t>(n));
     for (int u = 0; u < n; ++u) effective[u] = rapl.effective_cap(u);
@@ -67,19 +99,28 @@ EngineResult SimulationEngine::run(Cluster& cluster, SimulatedRapl& rapl,
     for (int u = 0; u < n; ++u) rapl.record(u, true_power[u], config_.dt);
     rapl.advance_step();
 
-    // Controller turn: read noisy power, decide, actuate.
-    for (int u = 0; u < n; ++u) measured[u] = rapl.read_power(u);
+    // Controller turn: read (possibly faulted) power, decide, actuate.
+    for (int u = 0; u < n; ++u) measured[u] = telemetry.read_power(u);
     manager.decide(measured, caps);
     Watts cap_sum = 0.0;
     for (int u = 0; u < n; ++u) {
-      rapl.set_cap(u, caps[u]);
+      telemetry.set_cap(u, caps[u]);
       cap_sum += caps[u];
     }
     result.peak_cap_sum = std::max(result.peak_cap_sum, cap_sum);
-    if (cap_sum > current_budget + 1e-6) {
+    if (cap_sum > effective_budget + 1e-6) {
       result.max_budget_overshoot =
-          std::max(result.max_budget_overshoot, cap_sum - current_budget);
+          std::max(result.max_budget_overshoot, cap_sum - effective_budget);
       ++result.overshoot_steps;
+    }
+    if (injector) {
+      if (injector->any_active()) {
+        result.faulted_time += config_.dt;
+        result.faulted_overshoot_ws +=
+            std::max(0.0, cap_sum - effective_budget) * config_.dt;
+      }
+      recovery.step(cluster.now(), caps, effective_budget,
+                    effective_budget / n);
     }
 
     if (result.trace) {
@@ -96,6 +137,11 @@ EngineResult SimulationEngine::run(Cluster& cluster, SimulatedRapl& rapl,
     ++steps;
   }
 
+  if (injector) {
+    result.faults_injected = injector->activated_count();
+    result.fault_recovery_times = recovery.recovery_times();
+    result.dropped_cap_writes = faulty->dropped_cap_writes();
+  }
   result.steps = steps;
   result.elapsed = cluster.now();
   result.completions.reserve(static_cast<std::size_t>(cluster.num_groups()));

@@ -3,6 +3,7 @@
 #include <memory>
 #include <vector>
 
+#include "faults/fault_plan.hpp"
 #include "managers/manager.hpp"
 #include "power/rapl_sim.hpp"
 #include "sim/cluster.hpp"
@@ -34,6 +35,12 @@ struct EngineConfig {
   /// manager via PowerManager::update_budget when simulated time reaches
   /// it.
   std::vector<BudgetChange> budget_schedule;
+  /// Optional deterministic fault schedule (src/faults/). When set, the
+  /// engine drives a FaultInjector over simulated time, routes the
+  /// manager's telemetry through a FaultyPowerInterface, applies crashes
+  /// to the cluster, folds budget sags into the in-effect budget, and
+  /// fills the resilience fields of EngineResult.
+  std::shared_ptr<const FaultPlan> fault_plan;
 };
 
 /// Outcome of one simulated experiment run.
@@ -53,6 +60,22 @@ struct EngineResult {
   Watts max_budget_overshoot = 0.0;
   /// Steps on which the cap sum exceeded the in-effect budget.
   int overshoot_steps = 0;
+
+  // --- Resilience (meaningful only when EngineConfig::fault_plan is set) ---
+  /// Fault events whose activation time fell inside the run.
+  int faults_injected = 0;
+  /// Simulated seconds during which at least one fault was active.
+  Seconds faulted_time = 0.0;
+  /// Watt-seconds (joules) of requested-cap-sum overshoot above the
+  /// in-effect budget accumulated while at least one fault was active —
+  /// the safety bill the faults actually caused.
+  Joules faulted_overshoot_ws = 0.0;
+  /// Per cleared fault, seconds from the clear until the manager's
+  /// allocation was healthy again (see faults/resilience.hpp).
+  std::vector<Seconds> fault_recovery_times;
+  /// set_cap requests swallowed by stuck-actuator / crash faults.
+  std::uint64_t dropped_cap_writes = 0;
+
   /// Present only when EngineConfig::record_trace was set.
   std::shared_ptr<TraceRecorder> trace;
 };

@@ -1,0 +1,130 @@
+#pragma once
+
+/// Shared fuzz drivers: each driver consumes an arbitrary byte buffer and
+/// exercises one parser/codec/subsystem, with the invariant that it either
+/// succeeds or throws the documented exception type — never crashes, never
+/// corrupts state. Two harnesses drive them:
+///   * tests/fuzz_test.cpp — gtest loops over deterministic Rng-generated
+///     buffers; always built, so tier-1 ctest exercises every driver.
+///   * tests/fuzz_libfuzzer.cpp — LLVMFuzzerTestOneInput entry points,
+///     built only with -DDPS_LIBFUZZER=ON (needs clang's libFuzzer).
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "faults/fault_injector.hpp"
+#include "faults/fault_plan.hpp"
+#include "net/protocol.hpp"
+#include "util/csv_reader.hpp"
+#include "util/ini.hpp"
+
+namespace dps::fuzz {
+
+/// Wire codec: whatever decodes must re-encode to the identical bytes.
+/// Returns false on a round-trip mismatch (the only way to fail without
+/// crashing, so both harnesses can assert on it).
+inline bool drive_protocol(const std::uint8_t* data, std::size_t size) {
+  if (size < kMessageSize) return true;
+  WireBytes bytes = {data[0], data[1], data[2]};
+  const auto message = decode(bytes);
+  if (!message) return true;
+  const auto round = encode(*message);
+  return round[0] == bytes[0] && round[1] == bytes[1] && round[2] == bytes[2];
+}
+
+/// INI parser: parse + probe lookups; throwing std::runtime_error on
+/// malformed text is the contract, anything else is a bug.
+inline void drive_ini(const std::uint8_t* data, std::size_t size) {
+  const std::string text(reinterpret_cast<const char*>(data), size);
+  try {
+    const auto ini = IniFile::parse(text);
+    (void)ini.get("a", "b");
+    (void)ini.get_double("", "x");
+    (void)ini.get_int("s", "k");
+    (void)ini.get_bool("s", "b");
+    (void)ini.has_section("s");
+  } catch (const std::runtime_error&) {
+  }
+}
+
+/// CSV parser: parse + probe every row; unterminated quotes throw.
+inline void drive_csv(const std::uint8_t* data, std::size_t size) {
+  const std::string text(reinterpret_cast<const char*>(data), size);
+  try {
+    const auto csv = CsvReader::parse(text);
+    for (std::size_t r = 0; r < csv.num_rows(); ++r) {
+      (void)csv.cell(r, std::string("a"));
+      (void)csv.number(r, std::string("b"));
+    }
+    (void)csv.column_as_doubles("a");
+  } catch (const std::runtime_error&) {
+  }
+}
+
+/// Fault plans: arbitrary bytes become (a) generator knobs — generation
+/// must always produce a valid, sorted plan — and (b) a raw event list —
+/// construction either validates or throws std::invalid_argument. The
+/// surviving plan is walked start to end through a FaultInjector, whose
+/// per-unit fault counts must return to zero once every window has closed.
+/// Returns false if any invariant breaks.
+inline bool drive_fault_plan(const std::uint8_t* data, std::size_t size) {
+  std::size_t pos = 0;
+  auto next_byte = [&]() -> std::uint8_t {
+    return pos < size ? data[pos++] : 0;
+  };
+
+  const int num_units = 1 + next_byte() % 32;
+
+  FaultPlanConfig config;
+  config.seed = next_byte() | (static_cast<std::uint64_t>(next_byte()) << 8);
+  config.horizon = 1.0 + next_byte() * 16.0;
+  config.crash_rate = next_byte() * 0.5;
+  config.sensor_dropout_rate = next_byte() * 0.5;
+  config.sensor_garbage_rate = next_byte() * 0.5;
+  config.cap_stuck_rate = next_byte() * 0.5;
+  config.budget_sag_rate = next_byte() * 0.5;
+  // Strictly positive: a zero duration means "never clears", which would
+  // (correctly) trip the all-windows-closed invariant below.
+  config.min_duration = 0.25 + next_byte() * 0.25;
+  config.max_duration = config.min_duration + next_byte() * 0.25;
+  config.sag_floor = 0.05 + (next_byte() % 95) / 100.0;
+  const auto generated = FaultPlan::generate(config, num_units);
+
+  // Raw event list from the remaining bytes — mostly invalid on purpose.
+  std::vector<FaultEvent> events;
+  while (pos + 5 <= size && events.size() < 64) {
+    FaultEvent e;
+    e.at = static_cast<double>(next_byte()) - 8.0;  // sometimes negative
+    e.duration = static_cast<double>(next_byte()) - 8.0;
+    e.unit = static_cast<int>(next_byte()) - 8;  // sometimes out of range
+    e.kind = static_cast<FaultKind>(next_byte() % 5);
+    e.magnitude = (static_cast<double>(next_byte()) - 8.0) / 64.0;
+    events.push_back(e);
+  }
+  try {
+    const FaultPlan plan(events, num_units);
+    if (plan.size() != events.size()) return false;
+  } catch (const std::invalid_argument&) {
+  }
+
+  // Walk the generated plan to the end: all windows closed, nothing stuck.
+  FaultInjector injector(generated, num_units);
+  for (Seconds t = 0.0; t <= config.horizon; t += config.horizon / 64.0) {
+    injector.advance(t);
+  }
+  injector.advance(config.horizon + config.max_duration + 1.0);
+  if (injector.any_active()) return false;
+  if (injector.budget_factor() != 1.0) return false;
+  for (int u = 0; u < num_units; ++u) {
+    if (injector.crashed(u) || injector.sensor_dropout(u) ||
+        injector.sensor_garbage(u) || injector.cap_stuck(u)) {
+      return false;
+    }
+  }
+  return injector.activated_count() ==
+         static_cast<int>(generated.size());
+}
+
+}  // namespace dps::fuzz

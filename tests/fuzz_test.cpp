@@ -1,10 +1,17 @@
 /// Fuzz-style robustness tests: the parsers and codecs must never crash or
 /// corrupt state on arbitrary input — they either succeed or throw.
+///
+/// The buffer-driven tests go through the shared drivers in
+/// fuzz_drivers.hpp — the same code libFuzzer runs when the fuzz_libfuzzer
+/// target is built (-DDPS_LIBFUZZER=ON) — so this always-built gtest
+/// harness is the guaranteed-coverage fallback.
 
 #include <gtest/gtest.h>
 
 #include <string>
+#include <vector>
 
+#include "fuzz_drivers.hpp"
 #include "net/protocol.hpp"
 #include "util/csv_reader.hpp"
 #include "util/ini.hpp"
@@ -84,6 +91,35 @@ TEST_P(FuzzSeeds, WellFormedCsvAlwaysParses) {
   for (int i = 0; i < 300; ++i) {
     const auto text = random_text(rng, rng.uniform_int(300), alphabet);
     EXPECT_NO_THROW(CsvReader::parse(text));
+  }
+}
+
+TEST_P(FuzzSeeds, SharedDriversTotalOnRandomBuffers) {
+  // Random byte buffers through the exact entry points the libFuzzer
+  // harness dispatches to.
+  Rng rng(GetParam() ^ 0x4444ULL);
+  for (int i = 0; i < 200; ++i) {
+    std::vector<std::uint8_t> buffer(rng.uniform_int(300));
+    for (auto& byte : buffer) {
+      byte = static_cast<std::uint8_t>(rng.uniform_int(256));
+    }
+    EXPECT_TRUE(fuzz::drive_protocol(buffer.data(), buffer.size()));
+    fuzz::drive_ini(buffer.data(), buffer.size());
+    fuzz::drive_csv(buffer.data(), buffer.size());
+  }
+}
+
+TEST_P(FuzzSeeds, FaultPlanDriverInvariantsHold) {
+  // Arbitrary bytes -> generator knobs + hostile raw event lists; the
+  // driver checks validation, sortedness, and that a full injector walk
+  // activates every event and leaves nothing stuck (see fuzz_drivers.hpp).
+  Rng rng(GetParam() ^ 0x5555ULL);
+  for (int i = 0; i < 100; ++i) {
+    std::vector<std::uint8_t> buffer(rng.uniform_int(200));
+    for (auto& byte : buffer) {
+      byte = static_cast<std::uint8_t>(rng.uniform_int(256));
+    }
+    EXPECT_TRUE(fuzz::drive_fault_plan(buffer.data(), buffer.size()));
   }
 }
 

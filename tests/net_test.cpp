@@ -4,6 +4,7 @@
 #include <thread>
 #include <vector>
 
+#include "core/dps_manager.hpp"
 #include "managers/constant.hpp"
 #include "managers/slurm_stateless.hpp"
 #include "net/client.hpp"
@@ -187,6 +188,59 @@ TEST(ControlPlane, SurvivesClientDeathMidSession) {
   for (auto& t : clients) t.join();
   EXPECT_EQ(rounds_done[0], 10);
   EXPECT_EQ(rounds_done[2], 10);
+}
+
+TEST(ControlPlane, DeadClientBudgetRedistributedOverTcp) {
+  // The dead-client path end to end, over real loopback TCP: a client
+  // disconnects mid-session, the server marks its unit dead (reporting
+  // 0 W from then on), DPS's unresponsive-unit eviction parks the dead
+  // cap at the hardware minimum, and the freed watts land on the
+  // survivors.
+  constexpr int kUnits = 3;
+  constexpr Watts kBudget = 330.0;
+  ControlServer server(0, kUnits);
+  std::vector<std::thread> clients;
+  for (int u = 0; u < kUnits; ++u) {
+    clients.emplace_back([&, u] {
+      // Survivors pin at their cap (always hungry); unit 0 dies after
+      // two rounds (the destructor closes the socket).
+      Watts cap = 110.0;
+      NodeClient client([&] { return cap * 0.99; },
+                        [&](Watts c) { cap = c; });
+      client.connect(server.port());
+      if (u == 0) {
+        for (int r = 0; r < 2; ++r) client.run_round();
+        return;
+      }
+      client.run();
+    });
+  }
+  server.accept_all();
+
+  ManagerContext ctx;
+  ctx.num_units = kUnits;
+  ctx.total_budget = kBudget;
+  DpsConfig config;
+  config.unresponsive_steps = 3;  // evict quickly; the test runs 20 rounds
+  DpsManager manager(config);
+  server.begin_session(manager, ctx);
+  for (int r = 0; r < 20; ++r) server.run_round(manager);
+
+  EXPECT_EQ(server.alive_count(), kUnits - 1);
+  ASSERT_EQ(manager.evicted().size(), static_cast<std::size_t>(kUnits));
+  EXPECT_TRUE(manager.evicted()[0]);
+  // Dead unit parked at the hardware minimum; its budget went to the
+  // survivors (both above the constant allocation now).
+  const auto& caps = server.last_caps();
+  EXPECT_NEAR(caps[0], ctx.min_cap, 1e-9);
+  EXPECT_GT(caps[1], kBudget / kUnits);
+  EXPECT_GT(caps[2], kBudget / kUnits);
+  Watts sum = 0.0;
+  for (const Watts c : caps) sum += c;
+  EXPECT_LE(sum, kBudget + 1e-6);
+
+  server.shutdown();
+  for (auto& t : clients) t.join();
 }
 
 TEST(ControlPlane, AllClientsGoneThrows) {
