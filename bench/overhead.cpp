@@ -4,7 +4,11 @@
 ///     of thousands of nodes with a sub-millisecond loop);
 ///   * the Kalman filter and priority-module costs in isolation;
 ///   * a full decision round over the real TCP loopback control plane with
-///     20 clients, counting the 3-bytes-per-request wire traffic.
+///     20 clients, counting the 3-bytes-per-request wire traffic;
+///   * the observability tax (src/obs/): the same DPS decide step and a
+///     full engine run with the sink disabled (arg 0, must match the
+///     uninstrumented numbers — compiled-in hooks are null checks) and
+///     enabled (arg 1, budgeted at <= 2 % on the engine run).
 
 #include <benchmark/benchmark.h>
 
@@ -17,9 +21,12 @@
 #include "managers/slurm_stateless.hpp"
 #include "net/client.hpp"
 #include "net/server.hpp"
+#include "obs/sink.hpp"
 #include "signal/kalman.hpp"
 #include "signal/peaks.hpp"
+#include "sim/engine.hpp"
 #include "util/rng.hpp"
+#include "workloads/synthetic.hpp"
 
 namespace {
 
@@ -95,6 +102,55 @@ void BM_OracleDecide(benchmark::State& state) {
   run_decide_benchmark(state, manager);
 }
 BENCHMARK(BM_OracleDecide)->Arg(10)->Arg(1000);
+
+/// The observability tax on the pure controller hot path: arg 0 runs DPS
+/// decide with the sink disabled (the default state of every deployment),
+/// arg 1 with a live sink (counters, spans, event ring). Compare against
+/// BM_DpsDecide/100 — arg 0 must be indistinguishable from it.
+void BM_DpsDecideObs(benchmark::State& state) {
+  DpsManager manager;
+  obs::ObsSink sink;
+  if (state.range(0) != 0) sink = obs::ObsSink::create();
+  manager.set_obs(sink);
+  const auto ctx = make_ctx(100);
+  manager.reset(ctx);
+  std::vector<Watts> caps(100, ctx.constant_cap());
+  std::vector<Watts> power(100, 0.0);
+  Rng rng(1);
+  int step = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    fill_power(rng, step++, caps, power);
+    state.ResumeTiming();
+    manager.decide(power, caps);
+    benchmark::DoNotOptimize(caps.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 100);
+}
+BENCHMARK(BM_DpsDecideObs)->Arg(0)->Arg(1);
+
+/// The observability tax on a whole engine run (every layer instrumented:
+/// engine step loop, DPS pipeline, RAPL, nothing faulted). Arg 0 disabled,
+/// arg 1 enabled; the acceptance budget is <= 0.5 % for arg 0 vs the
+/// pre-obs engine and <= 2 % for arg 1 vs arg 0.
+void BM_EngineRunObs(benchmark::State& state) {
+  const WorkloadSpec a = square_wave(40.0, 40.0, 150.0, 60.0, 8);
+  const WorkloadSpec b = flat(600.0, 120.0);
+  // The sink is created once, like a deployment does: the benchmark
+  // measures recording cost, not the one-time ring/registry setup.
+  obs::ObsSink sink;
+  if (state.range(0) != 0) sink = obs::ObsSink::create();
+  for (auto _ : state) {
+    EngineConfig config;
+    config.target_completions = 1;
+    config.max_time = 4000.0;
+    config.obs = sink;
+    DpsManager manager;
+    const auto result = run_pair(a, b, manager, config);
+    benchmark::DoNotOptimize(result.steps);
+  }
+}
+BENCHMARK(BM_EngineRunObs)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 
 void BM_KalmanUpdate(benchmark::State& state) {
   Kalman1D kf(4.0, 4.0, 100.0, 4.0);

@@ -14,7 +14,8 @@ namespace dps {
 /// operating cycle, the power cap set ... one can compute the satisfaction
 /// of each node and the fairness between the two clusters"). Operates on
 /// the CSV format TraceRecorder::write_csv emits:
-///   time,unit,true_power,measured_power,cap,demand
+///   time,unit,true_power,measured_power,cap,demand,priority
+/// (priority is optional on read, for traces predating the column).
 
 /// One unit's telemetry columns, reassembled from the flat CSV.
 struct UnitTrace {

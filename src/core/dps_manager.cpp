@@ -20,6 +20,28 @@ void DpsManager::reset(const ManagerContext& ctx) {
   last_restored_ = false;
   silent_streak_.assign(static_cast<std::size_t>(ctx.num_units), 0);
   evicted_.assign(static_cast<std::size_t>(ctx.num_units), false);
+  prev_priorities_.assign(static_cast<std::size_t>(ctx.num_units), false);
+}
+
+void DpsManager::set_obs(const obs::ObsSink& sink) {
+  obs_ = sink;
+  obs_promotions_ = sink.counter(
+      "dps_priority_promotions_total", "Units flipped low -> high priority");
+  obs_demotions_ = sink.counter(
+      "dps_priority_demotions_total", "Units flipped high -> low priority");
+  obs_restore_rounds_ = sink.counter(
+      "dps_restore_rounds_total",
+      "Decision steps that restored all caps to constant (Algorithm 3)");
+  obs_evictions_ = sink.counter(
+      "dps_evictions_total", "Units evicted from the pool as unresponsive");
+  obs_readmissions_ = sink.counter(
+      "dps_readmissions_total", "Evicted units re-admitted after power-on");
+  obs_history_seconds_ = sink.latency_histogram(
+      "dps_history_update_seconds", "Kalman-filtered history update stage");
+  obs_priority_seconds_ = sink.latency_histogram(
+      "dps_priority_update_seconds", "Priority module stage (Algorithm 2)");
+  obs_readjust_seconds_ = sink.latency_histogram(
+      "dps_readjust_seconds", "Restore / cap-readjust stage (Algs. 3-4)");
 }
 
 void DpsManager::update_budget(Watts new_total_budget) {
@@ -30,11 +52,18 @@ void DpsManager::update_budget(Watts new_total_budget) {
 
 void DpsManager::decide(std::span<const Watts> power, std::span<Watts> caps) {
   // State update: filter the noisy measurements into the power history.
-  history_.observe(power, ctx_.dt);
+  {
+    obs::ScopedSpan span(obs_, obs_history_seconds_, "dps_history");
+    history_.observe(power, ctx_.dt);
+  }
 
   // Power dynamics -> priorities, judged against the caps that produced
   // the measurements (this step's rewrite has not happened yet).
-  if (config_.use_priority_module) priority_.update(history_, caps);
+  if (config_.use_priority_module) {
+    obs::ScopedSpan span(obs_, obs_priority_seconds_, "dps_priority");
+    priority_.update(history_, caps);
+    if (obs_promotions_ != nullptr) count_priority_flips();
+  }
 
   // Temporary allocation from the stateless module, exactly what the SLURM
   // baseline would do.
@@ -46,18 +75,42 @@ void DpsManager::decide(std::span<const Watts> power, std::span<Watts> caps) {
       std::vector<bool> no_priorities(caps.size(), false);
       last_restored_ = readjuster_.apply(power, no_priorities, caps);
     }
+    if (last_restored_ && obs_restore_rounds_ != nullptr) {
+      obs_restore_rounds_->add();
+    }
     if (config_.evict_unresponsive) update_evictions(power, caps);
     return;
   }
 
   // Restore / readjust the stateless module's caps using the priorities.
-  last_restored_ = readjuster_.apply(power, priority_.priorities(), caps);
+  {
+    obs::ScopedSpan span(obs_, obs_readjust_seconds_, "dps_readjust");
+    last_restored_ = readjuster_.apply(power, priority_.priorities(), caps);
+  }
+  if (last_restored_ && obs_restore_rounds_ != nullptr) {
+    obs_restore_rounds_->add();
+  }
 
   // Resilience hardening, after the paper's pipeline: a unit that stays
   // dark despite holding a cap is dead hardware, not a quiet workload —
   // park it at the minimum and let the living spend its watts. Runs last
   // so a restore cannot hand a dead unit the constant cap back.
   if (config_.evict_unresponsive) update_evictions(power, caps);
+}
+
+void DpsManager::count_priority_flips() {
+  const auto& priorities = priority_.priorities();
+  const std::size_t n =
+      std::min(priorities.size(), prev_priorities_.size());
+  for (std::size_t u = 0; u < n; ++u) {
+    if (priorities[u] == prev_priorities_[u]) continue;
+    if (priorities[u]) {
+      obs_promotions_->add();
+    } else {
+      obs_demotions_->add();
+    }
+    prev_priorities_[u] = priorities[u];
+  }
 }
 
 void DpsManager::update_evictions(std::span<const Watts> power,
@@ -74,11 +127,18 @@ void DpsManager::update_evictions(std::span<const Watts> power,
       // Power came back: the node restarted. Re-admit immediately; the
       // normal pipeline regrows its cap from the minimum.
       silent_streak_[u] = 0;
-      evicted_[u] = false;
+      if (evicted_[u]) {
+        evicted_[u] = false;
+        if (obs_readmissions_ != nullptr) obs_readmissions_->add();
+        obs_.event(obs::EventKind::kReadmit, static_cast<std::int32_t>(u));
+      }
     }
-    if (silent_streak_[u] >=
-        static_cast<int>(config_.unresponsive_steps)) {
+    if (!evicted_[u] && silent_streak_[u] >=
+                            static_cast<int>(config_.unresponsive_steps)) {
       evicted_[u] = true;
+      if (obs_evictions_ != nullptr) obs_evictions_->add();
+      obs_.event(obs::EventKind::kEvict, static_cast<std::int32_t>(u),
+                 caps[u]);
     }
     any_evicted = any_evicted || evicted_[u];
   }

@@ -33,6 +33,10 @@ class DpsManager final : public PowerManager {
   void reset(const ManagerContext& ctx) override;
   void decide(std::span<const Watts> power, std::span<Watts> caps) override;
   void update_budget(Watts new_total_budget) override;
+  /// Wires the pipeline stages into the observability subsystem: profiling
+  /// spans over the Kalman/priority/readjust stages, counters for priority
+  /// flips and restore rounds, and evict/readmit events.
+  void set_obs(const obs::ObsSink& sink) override;
 
   const DpsConfig& config() const { return config_; }
   const EstimatedPowerHistory& history() const { return history_; }
@@ -48,6 +52,10 @@ class DpsManager final : public PowerManager {
   /// reclaimed watts to the live units (proportional to their headroom).
   void update_evictions(std::span<const Watts> power, std::span<Watts> caps);
 
+  /// Counts promotions/demotions against the previous step's priorities
+  /// and refreshes the baseline. Only called with the sink enabled.
+  void count_priority_flips();
+
   DpsConfig config_;
   MimdController stateless_;
   EstimatedPowerHistory history_;
@@ -57,6 +65,18 @@ class DpsManager final : public PowerManager {
   bool last_restored_ = false;
   std::vector<int> silent_streak_;
   std::vector<bool> evicted_;
+
+  // --- Observability (src/obs/); all null when the sink is disabled ---
+  obs::ObsSink obs_;
+  obs::Counter* obs_promotions_ = nullptr;
+  obs::Counter* obs_demotions_ = nullptr;
+  obs::Counter* obs_restore_rounds_ = nullptr;
+  obs::Counter* obs_evictions_ = nullptr;
+  obs::Counter* obs_readmissions_ = nullptr;
+  obs::Histogram* obs_history_seconds_ = nullptr;
+  obs::Histogram* obs_priority_seconds_ = nullptr;
+  obs::Histogram* obs_readjust_seconds_ = nullptr;
+  std::vector<bool> prev_priorities_;
 };
 
 }  // namespace dps

@@ -49,6 +49,12 @@ void FaultInjector::apply(const FaultEvent& e, int delta) {
   active_count_ += delta;
 }
 
+void FaultInjector::set_obs(const obs::ObsSink& sink) {
+  obs_ = sink;
+  obs_activations_ =
+      sink.counter("faults_activated_total", "Fault events activated");
+}
+
 void FaultInjector::advance(Seconds now) {
   activated_.clear();
   cleared_.clear();
@@ -73,6 +79,18 @@ void FaultInjector::advance(Seconds now) {
       active_.erase(active_.begin() + static_cast<std::ptrdiff_t>(i));
     } else {
       ++i;
+    }
+  }
+
+  if (obs_.enabled() && (!activated_.empty() || !cleared_.empty())) {
+    for (const FaultEvent& e : activated_) {
+      obs_activations_->add();
+      obs_.event_at(now, obs::EventKind::kFaultBegin, e.unit, e.magnitude,
+                    e.duration, to_string(e.kind));
+    }
+    for (const FaultEvent& e : cleared_) {
+      obs_.event_at(now, obs::EventKind::kFaultEnd, e.unit, e.magnitude, 0.0,
+                    to_string(e.kind));
     }
   }
 }

@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "faults/fault_plan.hpp"
+#include "obs/sink.hpp"
 
 namespace dps {
 
@@ -40,6 +41,10 @@ class FaultInjector {
   /// Total events activated so far.
   int activated_count() const { return activated_total_; }
 
+  /// Emits kFaultBegin / kFaultEnd events (stamped with the advance time,
+  /// detail = fault kind) and counts activations into the sink's registry.
+  void set_obs(const obs::ObsSink& sink);
+
   int num_units() const { return static_cast<int>(crash_.size()); }
 
  private:
@@ -58,6 +63,8 @@ class FaultInjector {
   int active_count_ = 0;
   int activated_total_ = 0;
   std::vector<FaultEvent> activated_, cleared_;
+  obs::ObsSink obs_;
+  obs::Counter* obs_activations_ = nullptr;
 };
 
 }  // namespace dps

@@ -30,9 +30,19 @@ Watts FaultyPowerInterface::read_power(int unit) {
   return value;
 }
 
+void FaultyPowerInterface::set_obs(const obs::ObsSink& sink) {
+  obs_ = sink;
+  obs_cap_drops_ = sink.counter(
+      "cap_drops_total", "set_cap requests swallowed by active faults");
+}
+
 void FaultyPowerInterface::set_cap(int unit, Watts cap) {
   if (injector_.cap_stuck(unit) || injector_.crashed(unit)) {
     ++dropped_cap_writes_;
+    if (obs_cap_drops_ != nullptr) {
+      obs_cap_drops_->add();
+      obs_.event(obs::EventKind::kCapDrop, unit, cap);
+    }
     return;
   }
   inner_.set_cap(unit, cap);

@@ -1,6 +1,7 @@
 #pragma once
 
 #include "faults/fault_injector.hpp"
+#include "obs/sink.hpp"
 #include "power/power_interface.hpp"
 #include "util/rng.hpp"
 
@@ -40,12 +41,19 @@ class FaultyPowerInterface final : public PowerInterface {
   /// tests and the resilience report).
   std::uint64_t dropped_cap_writes() const { return dropped_cap_writes_; }
 
+  /// Emits a kCapDrop event (and counts cap_drops_total) for every
+  /// swallowed set_cap — the observable difference between "the manager
+  /// asked" and "the hardware obeyed".
+  void set_obs(const obs::ObsSink& sink);
+
  private:
   PowerInterface& inner_;
   const FaultInjector& injector_;
   Rng garbage_;
   std::vector<Watts> last_good_;
   std::uint64_t dropped_cap_writes_ = 0;
+  obs::ObsSink obs_;
+  obs::Counter* obs_cap_drops_ = nullptr;
 };
 
 }  // namespace dps

@@ -4,6 +4,7 @@
 #include <string_view>
 #include <vector>
 
+#include "obs/sink.hpp"
 #include "power/power_interface.hpp"
 
 namespace dps {
@@ -64,6 +65,14 @@ class PowerManager {
   /// accumulated state; when the budget shrank below the current cap sum,
   /// the next decide() must shed the excess.
   virtual void update_budget(Watts new_total_budget) = 0;
+
+  /// Attaches an observability sink (src/obs/). Called by whoever hosts
+  /// the manager — the simulation engine or the control server — before
+  /// the decision loop starts. Stateful managers override this to emit
+  /// events (evictions, re-admissions) and feed profiling histograms; the
+  /// default ignores it, and a default-constructed (disabled) sink makes
+  /// every instrumentation call a null-check no-op.
+  virtual void set_obs(const obs::ObsSink& /*sink*/) {}
 };
 
 /// Shared emergency-shedding helper: when the sum of caps exceeds the

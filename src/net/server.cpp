@@ -20,18 +20,6 @@ namespace {
   throw std::runtime_error(what + ": " + std::strerror(errno));
 }
 
-void send_all(int fd, const std::uint8_t* data, std::size_t len) {
-  std::size_t sent = 0;
-  while (sent < len) {
-    const ssize_t n = ::send(fd, data + sent, len - sent, MSG_NOSIGNAL);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      throw_errno("send");
-    }
-    sent += static_cast<std::size_t>(n);
-  }
-}
-
 /// send_all that reports a broken peer instead of throwing.
 bool try_send_all(int fd, const std::uint8_t* data, std::size_t len) {
   std::size_t sent = 0;
@@ -99,6 +87,19 @@ ControlServer::~ControlServer() {
   if (listen_fd_ >= 0) ::close(listen_fd_);
 }
 
+void ControlServer::set_obs(const obs::ObsSink& sink) {
+  obs_ = sink;
+  obs_rounds_ = sink.counter("ctrl_rounds_total", "Decision rounds served");
+  obs_set_caps_ = sink.counter(
+      "ctrl_set_cap_messages_total", "kSetCap messages sent (RAPL writes)");
+  obs_keep_caps_ = sink.counter(
+      "ctrl_keep_cap_messages_total", "kKeepCap messages sent (skipped writes)");
+  obs_disconnects_ = sink.counter(
+      "ctrl_client_disconnects_total", "Clients that died mid-session");
+  obs_decide_seconds_ = sink.latency_histogram(
+      "ctrl_decide_seconds", "Wall time of one manager decision in a round");
+}
+
 void ControlServer::accept_all() {
   client_fds_.reserve(static_cast<std::size_t>(expected_units_));
   while (static_cast<int>(client_fds_.size()) < expected_units_) {
@@ -109,6 +110,8 @@ void ControlServer::accept_all() {
     }
     const int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    obs_.event(obs::EventKind::kClientConnect,
+               static_cast<std::int32_t>(client_fds_.size()));
     client_fds_.push_back(fd);
     client_dead_.push_back(false);
   }
@@ -120,6 +123,7 @@ void ControlServer::begin_session(PowerManager& manager,
   if (static_cast<int>(n) != ctx.num_units) {
     throw std::invalid_argument("begin_session: unit count mismatch");
   }
+  manager.set_obs(obs_);
   manager.reset(ctx);
   caps_.assign(n, ctx.constant_cap());
   // Force a kSetCap for every unit on the first round: the clients have
@@ -149,6 +153,9 @@ std::uint64_t ControlServer::run_round(PowerManager& manager) {
       client_dead_[u] = true;
       power_[u] = 0.0;
       ::close(client_fds_[u]);
+      if (obs_disconnects_ != nullptr) obs_disconnects_->add();
+      obs_.event(obs::EventKind::kClientDisconnect,
+                 static_cast<std::int32_t>(u));
       continue;
     }
     const auto message = decode(bytes);
@@ -165,6 +172,14 @@ std::uint64_t ControlServer::run_round(PowerManager& manager) {
   const auto t0 = std::chrono::steady_clock::now();
   manager.decide(power_, caps_);
   const auto t1 = std::chrono::steady_clock::now();
+  if (obs_rounds_ != nullptr) {
+    obs_rounds_->add();
+    obs_decide_seconds_->observe(
+        std::chrono::duration<double>(t1 - t0).count());
+    Watts cap_sum = 0.0;
+    for (const Watts c : caps_) cap_sum += c;
+    obs_.event(obs::EventKind::kDecision, -1, cap_sum);
+  }
 
   for (std::size_t u = 0; u < n; ++u) {
     if (client_dead_[u]) continue;
@@ -178,15 +193,24 @@ std::uint64_t ControlServer::run_round(PowerManager& manager) {
                   : Message{MessageType::kSetCap, caps_[u]};
     if (unchanged) {
       ++keep_cap_messages_;
+      if (obs_keep_caps_ != nullptr) obs_keep_caps_->add();
     } else {
       ++set_cap_messages_;
       previous_caps_[u] = caps_[u];
+      if (obs_set_caps_ != nullptr) {
+        obs_set_caps_->add();
+        obs_.event(obs::EventKind::kCapWrite, static_cast<std::int32_t>(u),
+                   caps_[u]);
+      }
     }
     const auto bytes = encode(message);
     if (!try_send_all(client_fds_[u], bytes.data(), bytes.size())) {
       client_dead_[u] = true;
       power_[u] = 0.0;
       ::close(client_fds_[u]);
+      if (obs_disconnects_ != nullptr) obs_disconnects_->add();
+      obs_.event(obs::EventKind::kClientDisconnect,
+                 static_cast<std::int32_t>(u));
     }
   }
   return static_cast<std::uint64_t>(

@@ -7,6 +7,7 @@
 
 #include "managers/manager.hpp"
 #include "net/protocol.hpp"
+#include "obs/sink.hpp"
 
 namespace dps {
 
@@ -74,6 +75,13 @@ class ControlServer {
   std::uint64_t set_cap_messages() const { return set_cap_messages_; }
   std::uint64_t keep_cap_messages() const { return keep_cap_messages_; }
 
+  /// Attaches an observability sink: client connect/disconnect and
+  /// decision / cap-write events plus a decide-latency histogram, the same
+  /// stream shape the simulated engine produces. Call before accept_all so
+  /// connects are captured; also forwarded to the manager by
+  /// begin_session. Events get wall time (the sink's clock is not driven).
+  void set_obs(const obs::ObsSink& sink);
+
  private:
   int listen_fd_ = -1;
   std::uint16_t port_ = 0;
@@ -85,6 +93,12 @@ class ControlServer {
   std::vector<Watts> power_;
   std::uint64_t set_cap_messages_ = 0;
   std::uint64_t keep_cap_messages_ = 0;
+  obs::ObsSink obs_;
+  obs::Counter* obs_rounds_ = nullptr;
+  obs::Counter* obs_set_caps_ = nullptr;
+  obs::Counter* obs_keep_caps_ = nullptr;
+  obs::Counter* obs_disconnects_ = nullptr;
+  obs::Histogram* obs_decide_seconds_ = nullptr;
 };
 
 }  // namespace dps

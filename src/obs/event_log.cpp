@@ -1,0 +1,78 @@
+#include "obs/event_log.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace dps::obs {
+
+const char* to_string(EventKind kind) {
+  switch (kind) {
+    case EventKind::kDecision: return "decision";
+    case EventKind::kCapWrite: return "cap_write";
+    case EventKind::kCapDrop: return "cap_drop";
+    case EventKind::kEvict: return "evict";
+    case EventKind::kReadmit: return "readmit";
+    case EventKind::kFaultBegin: return "fault_begin";
+    case EventKind::kFaultEnd: return "fault_end";
+    case EventKind::kBudgetChange: return "budget_change";
+    case EventKind::kClientConnect: return "client_connect";
+    case EventKind::kClientDisconnect: return "client_disconnect";
+    case EventKind::kSpan: return "span";
+  }
+  return "unknown";
+}
+
+bool event_kind_from_string(const std::string& name, EventKind& out) {
+  for (const EventKind kind :
+       {EventKind::kDecision, EventKind::kCapWrite, EventKind::kCapDrop,
+        EventKind::kEvict, EventKind::kReadmit, EventKind::kFaultBegin,
+        EventKind::kFaultEnd, EventKind::kBudgetChange,
+        EventKind::kClientConnect, EventKind::kClientDisconnect,
+        EventKind::kSpan}) {
+    if (name == to_string(kind)) {
+      out = kind;
+      return true;
+    }
+  }
+  return false;
+}
+
+EventLog::EventLog(std::size_t capacity) {
+  if (capacity == 0) {
+    throw std::invalid_argument("EventLog: capacity must be > 0");
+  }
+  ring_.resize(capacity);
+}
+
+void EventLog::push(const Event& event) {
+  std::lock_guard lock(mu_);
+  ring_[head_] = event;
+  head_ = (head_ + 1) % ring_.size();
+  ++total_;
+}
+
+std::vector<Event> EventLog::snapshot() const {
+  std::lock_guard lock(mu_);
+  std::vector<Event> out;
+  const std::size_t stored =
+      total_ < ring_.size() ? static_cast<std::size_t>(total_) : ring_.size();
+  out.reserve(stored);
+  // Oldest entry: head_ when the ring has wrapped, slot 0 otherwise.
+  const std::size_t start = total_ < ring_.size() ? 0 : head_;
+  for (std::size_t i = 0; i < stored; ++i) {
+    out.push_back(ring_[(start + i) % ring_.size()]);
+  }
+  return out;
+}
+
+std::uint64_t EventLog::total_pushed() const {
+  std::lock_guard lock(mu_);
+  return total_;
+}
+
+std::uint64_t EventLog::dropped() const {
+  std::lock_guard lock(mu_);
+  return total_ < ring_.size() ? 0 : total_ - ring_.size();
+}
+
+}  // namespace dps::obs

@@ -1,0 +1,116 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace dps::obs {
+
+/// Monotonically increasing counter. Updates are lock-free (one relaxed
+/// atomic add); reads may race with writers and see any torn-free
+/// intermediate total, which is all Prometheus-style scrapes need.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// A value that can go up and down (in-flight requests, current budget).
+class Gauge {
+ public:
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void add(double delta) {
+    double current = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(current, current + delta,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram with Prometheus `le` semantics: an observation v
+/// lands in the first bucket whose upper bound satisfies v <= bound, and in
+/// the implicit +Inf bucket otherwise. Bucket counts are *not* cumulative
+/// in memory (the exposition writer accumulates them on the way out).
+class Histogram {
+ public:
+  /// `upper_bounds` must be strictly increasing and non-empty; an implicit
+  /// +Inf bucket is appended. Throws std::invalid_argument otherwise.
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  void observe(double v);
+
+  const std::vector<double>& upper_bounds() const { return bounds_; }
+  /// Raw (non-cumulative) count of bucket i; i == upper_bounds().size()
+  /// addresses the +Inf bucket.
+  std::uint64_t bucket_count(std::size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;  // bounds_.size()+1
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Exponential 1 µs .. ~16 s bounds for latency histograms, in seconds.
+std::vector<double> default_latency_bounds();
+
+/// Named registry of counters, gauges, and histograms. Registration takes
+/// a mutex (cold path, typically once per metric at wiring time); the
+/// returned references are stable for the registry's lifetime and their
+/// update methods are lock-free, so hot paths never contend.
+class MetricsRegistry {
+ public:
+  /// Returns the existing metric or creates it. Names must match
+  /// [a-zA-Z_:][a-zA-Z0-9_:]* (Prometheus rules); `help` is kept from the
+  /// first registration. Throws std::invalid_argument on a bad name or
+  /// when the name is already registered as a different metric type (or,
+  /// for histograms, with different bounds).
+  Counter& counter(const std::string& name, const std::string& help = "");
+  Gauge& gauge(const std::string& name, const std::string& help = "");
+  Histogram& histogram(const std::string& name,
+                       std::vector<double> upper_bounds,
+                       const std::string& help = "");
+
+  /// Prometheus text exposition format (# HELP / # TYPE / samples), metrics
+  /// in name order, histogram buckets cumulative with an +Inf sample.
+  void write_prometheus(std::ostream& out) const;
+
+  /// Flat CSV snapshot with columns metric,type,key,value — one row per
+  /// scalar, one row per histogram bucket (key le=...), plus sum/count
+  /// rows. Throws std::runtime_error if the file cannot be written.
+  void write_csv(const std::string& path) const;
+
+  std::size_t size() const;
+
+ private:
+  struct Entry {
+    std::string help;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  Entry& find_or_create(const std::string& name, const std::string& help);
+
+  mutable std::mutex mu_;
+  // std::map for deterministic exposition order.
+  std::map<std::string, Entry> entries_;
+};
+
+}  // namespace dps::obs

@@ -1,0 +1,67 @@
+#include "obs/obs_config.hpp"
+
+#include <fstream>
+#include <stdexcept>
+
+#include "obs/exporters.hpp"
+
+namespace dps::obs {
+
+ObsConfig obs_config_from_ini(const IniFile& ini) {
+  ObsConfig config;
+  if (const auto v = ini.get_bool("obs", "enabled")) config.enabled = *v;
+  if (const auto v = ini.get_int("obs", "events_capacity")) {
+    if (*v <= 0) {
+      throw std::invalid_argument("[obs] events_capacity must be > 0");
+    }
+    config.events_capacity = static_cast<std::size_t>(*v);
+  }
+  if (const auto v = ini.get_bool("obs", "span_events")) {
+    config.span_events = *v;
+  }
+  if (const auto v = ini.get("obs", "export_prometheus")) {
+    config.export_prometheus = *v;
+  }
+  if (const auto v = ini.get("obs", "export_metrics_csv")) {
+    config.export_metrics_csv = *v;
+  }
+  if (const auto v = ini.get("obs", "export_events_csv")) {
+    config.export_events_csv = *v;
+  }
+  if (const auto v = ini.get("obs", "export_trace_json")) {
+    config.export_trace_json = *v;
+  }
+  return config;
+}
+
+ObsConfig obs_config_from_file(const std::string& path) {
+  return obs_config_from_ini(IniFile::load(path));
+}
+
+ObsSink make_sink(const ObsConfig& config) {
+  if (!config.enabled) return ObsSink();
+  return ObsSink::create(config.events_capacity, config.span_events);
+}
+
+void export_all(const ObsSink& sink, const ObsConfig& config) {
+  if (!sink.enabled()) return;
+  Observer& observer = *sink.observer();
+  if (!config.export_prometheus.empty()) {
+    std::ofstream out(config.export_prometheus);
+    if (!out) {
+      throw std::runtime_error("cannot write " + config.export_prometheus);
+    }
+    observer.metrics().write_prometheus(out);
+  }
+  if (!config.export_metrics_csv.empty()) {
+    observer.metrics().write_csv(config.export_metrics_csv);
+  }
+  if (!config.export_events_csv.empty()) {
+    write_events_csv(observer.events(), config.export_events_csv);
+  }
+  if (!config.export_trace_json.empty()) {
+    write_chrome_trace_file(observer.events(), config.export_trace_json);
+  }
+}
+
+}  // namespace dps::obs

@@ -1,0 +1,28 @@
+#include "obs/sink.hpp"
+
+namespace dps::obs {
+
+Observer::Observer(std::size_t events_capacity, bool span_events)
+    : events_(events_capacity),
+      epoch_(std::chrono::steady_clock::now()),
+      span_events_(span_events) {}
+
+ObsSeconds Observer::now() const {
+  const double driven = driven_time_.load(std::memory_order_relaxed);
+  if (driven >= 0.0) return driven;
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       epoch_)
+      .count();
+}
+
+void Observer::emit(EventKind kind, std::int32_t unit, double value,
+                    double extra, const char* detail) {
+  emit_at(now(), kind, unit, value, extra, detail);
+}
+
+void Observer::emit_at(ObsSeconds time, EventKind kind, std::int32_t unit,
+                       double value, double extra, const char* detail) {
+  events_.push(Event{time, kind, unit, value, extra, detail});
+}
+
+}  // namespace dps::obs

@@ -46,8 +46,18 @@ std::uint32_t SimulatedRapl::raw_energy_counter(int unit) const {
   return static_cast<std::uint32_t>(u.energy_units);  // wraps at 2^32
 }
 
+void SimulatedRapl::set_obs(const obs::ObsSink& sink) {
+  obs_reads_ = sink.counter("rapl_power_reads_total",
+                            "read_power calls against the simulated RAPL");
+  obs_cap_requests_ = sink.counter("rapl_cap_requests_total",
+                                   "set_cap calls (including no-op re-sends)");
+  obs_cap_changes_ = sink.counter(
+      "rapl_cap_changes_total", "set_cap calls that moved the requested cap");
+}
+
 Watts SimulatedRapl::read_power(int unit) {
   auto& u = units_.at(static_cast<std::size_t>(unit));
+  if (obs_reads_ != nullptr) obs_reads_->add();
   if (u.window_elapsed <= 0.0) return u.last_power_reading;
 
   // Delta of the wrapped 32-bit counter; unsigned arithmetic handles one
@@ -71,6 +81,10 @@ Watts SimulatedRapl::read_power(int unit) {
 void SimulatedRapl::set_cap(int unit, Watts cap) {
   auto& u = units_.at(static_cast<std::size_t>(unit));
   const Watts clamped = std::clamp(cap, config_.min_cap, config_.tdp);
+  if (obs_cap_requests_ != nullptr) {
+    obs_cap_requests_->add();
+    if (clamped != u.requested_cap) obs_cap_changes_->add();
+  }
   u.requested_cap = clamped;
   if (config_.actuation_delay_steps <= 0) {
     u.effective_cap = clamped;

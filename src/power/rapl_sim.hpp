@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "obs/sink.hpp"
 #include "power/power_interface.hpp"
 #include "util/rng.hpp"
 
@@ -57,6 +58,11 @@ class SimulatedRapl final : public PowerInterface {
   /// from MSR_PKG_ENERGY_STATUS. Exposed for tests.
   std::uint32_t raw_energy_counter(int unit) const;
 
+  /// Counts power reads, cap requests, and caps that actually moved into
+  /// the sink's registry (rapl_power_reads_total / rapl_cap_requests_total
+  /// / rapl_cap_changes_total). A disabled sink costs one null check.
+  void set_obs(const obs::ObsSink& sink);
+
   // --- PowerInterface ---
   int num_units() const override { return static_cast<int>(units_.size()); }
   Watts read_power(int unit) override;
@@ -79,6 +85,9 @@ class SimulatedRapl final : public PowerInterface {
   RaplSimConfig config_;
   std::vector<UnitState> units_;
   Rng noise_;
+  obs::Counter* obs_reads_ = nullptr;
+  obs::Counter* obs_cap_requests_ = nullptr;
+  obs::Counter* obs_cap_changes_ = nullptr;
 };
 
 }  // namespace dps

@@ -61,15 +61,39 @@ EngineResult SimulationEngine::run(Cluster& cluster, SimulatedRapl& rapl,
   PowerInterface& telemetry =
       faulty ? static_cast<PowerInterface&>(*faulty) : rapl;
 
+  // Observability: pin the sink's clock to simulated time and hand the
+  // same sink to every layer, so the run produces one coherent stream.
+  const obs::ObsSink& obs = config_.obs;
+  obs.set_time(cluster.now());
+  manager.set_obs(obs);
+  rapl.set_obs(obs);
+  if (injector) {
+    injector->set_obs(obs);
+    faulty->set_obs(obs);
+  }
+  obs::Counter* obs_steps = obs.counter(
+      "engine_steps_total", "Decision-loop steps the engine executed");
+  obs::Counter* obs_cap_writes = obs.counter(
+      "engine_cap_writes_total", "Per-unit cap changes the engine applied");
+  obs::Histogram* obs_decide_seconds = obs.latency_histogram(
+      "engine_decide_seconds", "Wall time of one manager decision");
+  obs::Gauge* obs_budget = obs.gauge(
+      "engine_budget_watts", "Cluster budget currently in effect");
+  // Previous step's caps, for emitting kCapWrite only when a cap moved.
+  std::vector<Watts> obs_prev_caps;
+  if (obs.enabled()) obs_prev_caps = caps;
+
   Watts current_budget = config_.total_budget;
   // Budget actually in effect: the scheduled budget scaled by any active
   // budget-sag fault. The manager is told on every change.
   Watts effective_budget = current_budget;
   std::size_t next_change = 0;
+  if (obs_budget != nullptr) obs_budget->set(effective_budget);
 
   int steps = 0;
   while (cluster.min_completions() < config_.target_completions &&
          cluster.now() < config_.max_time) {
+    obs.set_time(cluster.now());
     // Deliver any scheduled budget changes that have come due.
     while (next_change < config_.budget_schedule.size() &&
            cluster.now() >= config_.budget_schedule[next_change].at) {
@@ -87,6 +111,9 @@ EngineResult SimulationEngine::run(Cluster& cluster, SimulatedRapl& rapl,
     const Watts new_effective =
         current_budget * (injector ? injector->budget_factor() : 1.0);
     if (new_effective != effective_budget) {
+      obs.event(obs::EventKind::kBudgetChange, -1, new_effective,
+                effective_budget);
+      if (obs_budget != nullptr) obs_budget->set(new_effective);
       effective_budget = new_effective;
       manager.update_budget(effective_budget);
     }
@@ -101,11 +128,28 @@ EngineResult SimulationEngine::run(Cluster& cluster, SimulatedRapl& rapl,
 
     // Controller turn: read (possibly faulted) power, decide, actuate.
     for (int u = 0; u < n; ++u) measured[u] = telemetry.read_power(u);
-    manager.decide(measured, caps);
+    {
+      obs::ScopedSpan span(obs, obs_decide_seconds, "decide");
+      manager.decide(measured, caps);
+    }
+    if (obs_steps != nullptr) obs_steps->add();
     Watts cap_sum = 0.0;
+    for (int u = 0; u < n; ++u) cap_sum += caps[u];
+    // The decision event precedes this step's cap writes in the stream —
+    // the decision is what causes them.
+    obs.event(obs::EventKind::kDecision, -1, cap_sum, effective_budget);
     for (int u = 0; u < n; ++u) {
       telemetry.set_cap(u, caps[u]);
-      cap_sum += caps[u];
+    }
+    if (obs.enabled()) {
+      for (int u = 0; u < n; ++u) {
+        const auto su = static_cast<std::size_t>(u);
+        if (caps[su] != obs_prev_caps[su]) {
+          obs.event(obs::EventKind::kCapWrite, u, caps[su]);
+          obs_cap_writes->add();
+          obs_prev_caps[su] = caps[su];
+        }
+      }
     }
     result.peak_cap_sum = std::max(result.peak_cap_sum, cap_sum);
     if (cap_sum > effective_budget + 1e-6) {

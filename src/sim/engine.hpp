@@ -5,6 +5,7 @@
 
 #include "faults/fault_plan.hpp"
 #include "managers/manager.hpp"
+#include "obs/sink.hpp"
 #include "power/rapl_sim.hpp"
 #include "sim/cluster.hpp"
 #include "sim/trace.hpp"
@@ -41,6 +42,12 @@ struct EngineConfig {
   /// to the cluster, folds budget sags into the in-effect budget, and
   /// fills the resilience fields of EngineResult.
   std::shared_ptr<const FaultPlan> fault_plan;
+  /// Observability sink (src/obs/). The engine pins the sink's clock to
+  /// simulated time every step (deterministic event stamps), attaches it
+  /// to the manager, the RAPL, and the fault machinery, and emits
+  /// decision / cap-write / budget-change events plus decision-latency
+  /// histograms through it. Default-constructed = disabled = free.
+  obs::ObsSink obs;
 };
 
 /// Outcome of one simulated experiment run.

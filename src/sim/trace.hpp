@@ -35,7 +35,9 @@ class TraceRecorder {
   int num_units() const { return static_cast<int>(series_.size()); }
 
   /// Dumps all units' series to a CSV at `path` with columns
-  /// time,unit,true_power,measured_power,cap,demand.
+  /// time,unit,true_power,measured_power,cap,demand,priority — the
+  /// priority column carries TraceSample::priority (1/0 under DPS, -1
+  /// otherwise), matching what src/analysis/trace_analysis.hpp reads.
   void write_csv(const std::string& path) const;
 
   /// Extracts one column of a unit's series.

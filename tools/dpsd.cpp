@@ -25,6 +25,7 @@
 #include "managers/constant.hpp"
 #include "managers/slurm_stateless.hpp"
 #include "net/server.hpp"
+#include "obs/obs_config.hpp"
 #include "p2p/p2p_manager.hpp"
 
 namespace {
@@ -45,7 +46,12 @@ void print_usage() {
       "  --config FILE      INI with [dps]/[stateless] sections\n"
       "  --period SECONDS   decision-loop period            [1.0]\n"
       "  --rounds N         stop after N rounds (0 = until signal)\n"
-      "  --bind-any         listen on all interfaces, not just loopback\n");
+      "  --bind-any         listen on all interfaces, not just loopback\n"
+      "  --obs-metrics F    write Prometheus metrics to F on shutdown\n"
+      "  --obs-events F     write the event-log CSV to F on shutdown\n"
+      "  --obs-trace F      write Chrome trace_event JSON to F on shutdown\n"
+      "                     (any --obs-* flag enables observability; the\n"
+      "                     [obs] section of --config sets the defaults)\n");
 }
 
 }  // namespace
@@ -63,6 +69,7 @@ int main(int argc, char** argv) {
   bool bind_any = false;
   std::string manager_name = "dps";
   std::string config_path;
+  std::string obs_metrics_path, obs_events_path, obs_trace_path;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -90,6 +97,12 @@ int main(int argc, char** argv) {
       manager_name = argv[i];
     } else if (arg == "--config" && value()) {
       config_path = argv[i];
+    } else if (arg == "--obs-metrics" && value()) {
+      obs_metrics_path = argv[i];
+    } else if (arg == "--obs-events" && value()) {
+      obs_events_path = argv[i];
+    } else if (arg == "--obs-trace" && value()) {
+      obs_trace_path = argv[i];
     } else if (arg == "--bind-any") {
       bind_any = true;
     } else {
@@ -107,9 +120,26 @@ int main(int argc, char** argv) {
 
   try {
     DpsConfig dps_config;
+    obs::ObsConfig obs_config;
     if (!config_path.empty()) {
-      dps_config = dps_config_from_file(config_path);
+      const IniFile ini = IniFile::load(config_path);
+      dps_config = dps_config_from_ini(ini);
+      obs_config = obs::obs_config_from_ini(ini);
     }
+    // Any --obs-* flag both sets the export target and enables obs.
+    if (!obs_metrics_path.empty()) {
+      obs_config.export_prometheus = obs_metrics_path;
+      obs_config.enabled = true;
+    }
+    if (!obs_events_path.empty()) {
+      obs_config.export_events_csv = obs_events_path;
+      obs_config.enabled = true;
+    }
+    if (!obs_trace_path.empty()) {
+      obs_config.export_trace_json = obs_trace_path;
+      obs_config.enabled = true;
+    }
+    const obs::ObsSink obs_sink = obs::make_sink(obs_config);
 
     std::unique_ptr<PowerManager> manager;
     if (manager_name == "dps") {
@@ -130,6 +160,7 @@ int main(int argc, char** argv) {
     std::signal(SIGTERM, handle_signal);
 
     ControlServer server(static_cast<std::uint16_t>(port), units, bind_any);
+    server.set_obs(obs_sink);
     std::printf("dpsd: %s manager, %d units, %.0f W budget, port %u%s\n",
                 manager_name.c_str(), units, budget, server.port(),
                 bind_any ? " (all interfaces)" : " (loopback)");
@@ -171,6 +202,10 @@ int main(int argc, char** argv) {
 
     std::printf("dpsd: shutting down after %ld rounds\n", rounds);
     server.shutdown();
+    if (obs_sink.enabled() && obs_config.any_export()) {
+      obs::export_all(obs_sink, obs_config);
+      std::printf("dpsd: observability exports written\n");
+    }
   } catch (const std::exception& error) {
     std::fprintf(stderr, "dpsd: fatal: %s\n", error.what());
     return 1;

@@ -19,6 +19,7 @@
 
 #include "core/dps_manager.hpp"
 #include "experiments/pair_runner.hpp"
+#include "obs/obs_config.hpp"
 #include "experiments/registry.hpp"
 #include "managers/constant.hpp"
 #include "managers/oracle.hpp"
@@ -42,8 +43,14 @@ struct Options {
   double budget_per_socket = 110.0;
   int sockets = 10;
   std::optional<std::string> trace_path;
+  std::string obs_metrics_path, obs_events_path, obs_trace_path;
   bool list = false;
   bool help = false;
+
+  bool obs_enabled() const {
+    return !obs_metrics_path.empty() || !obs_events_path.empty() ||
+           !obs_trace_path.empty();
+  }
 };
 
 void print_usage() {
@@ -58,6 +65,9 @@ void print_usage() {
       "  --budget <watts>  per-socket cluster budget        [110]\n"
       "  --sockets <n>     sockets per cluster              [10]\n"
       "  --trace <path>    dump per-step telemetry CSV\n"
+      "  --obs-metrics <p> write Prometheus metrics of an observed run\n"
+      "  --obs-events <p>  write the structured event-log CSV\n"
+      "  --obs-trace <p>   write Chrome trace_event JSON (chrome://tracing)\n"
       "  --list            list the available workloads\n");
 }
 
@@ -105,6 +115,18 @@ std::optional<Options> parse(int argc, char** argv) {
       const char* v = next();
       if (!v) return std::nullopt;
       options.trace_path = v;
+    } else if (arg == "--obs-metrics") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      options.obs_metrics_path = v;
+    } else if (arg == "--obs-events") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      options.obs_events_path = v;
+    } else if (arg == "--obs-trace") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      options.obs_trace_path = v;
     } else {
       std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
       return std::nullopt;
@@ -193,16 +215,21 @@ int main(int argc, char** argv) {
                 outcome.peak_cap_sum,
                 options->budget_per_socket * 2 * options->sockets);
 
-    if (options->trace_path) {
-      // Re-run with tracing enabled through the lower-level API.
-      std::printf("\n(writing telemetry trace to %s)\n",
-                  options->trace_path->c_str());
+    if (options->trace_path || options->obs_enabled()) {
+      // Re-run with tracing / observability enabled through the
+      // lower-level API.
       EngineConfig config;
       config.target_completions = 1;
-      config.record_trace = true;
+      config.record_trace = options->trace_path.has_value();
       config.total_budget =
           options->budget_per_socket * 2 * options->sockets;
       config.max_time = 50000.0;
+      obs::ObsConfig obs_config;
+      obs_config.enabled = options->obs_enabled();
+      obs_config.export_prometheus = options->obs_metrics_path;
+      obs_config.export_events_csv = options->obs_events_path;
+      obs_config.export_trace_json = options->obs_trace_path;
+      config.obs = obs::make_sink(obs_config);
       Cluster cluster(
           {GroupSpec{workload_a, options->sockets, options->seed},
            GroupSpec{workload_b, options->sockets, options->seed + 1}});
@@ -218,7 +245,15 @@ int main(int argc, char** argv) {
       if (kind == ManagerKind::kOracle) manager = &oracle;
       const auto result =
           SimulationEngine(config).run(cluster, rapl, *manager);
-      result.trace->write_csv(*options->trace_path);
+      if (options->trace_path) {
+        std::printf("\n(writing telemetry trace to %s)\n",
+                    options->trace_path->c_str());
+        result.trace->write_csv(*options->trace_path);
+      }
+      if (options->obs_enabled()) {
+        obs::export_all(config.obs, obs_config);
+        std::printf("(observability exports written)\n");
+      }
     }
   } catch (const std::exception& error) {
     std::fprintf(stderr, "error: %s\n", error.what());
