@@ -18,6 +18,10 @@ const char* to_string(EventKind kind) {
     case EventKind::kClientConnect: return "client_connect";
     case EventKind::kClientDisconnect: return "client_disconnect";
     case EventKind::kSpan: return "span";
+    case EventKind::kJobSubmit: return "job_submit";
+    case EventKind::kJobStart: return "job_start";
+    case EventKind::kJobEnd: return "job_end";
+    case EventKind::kJobRequeue: return "job_requeue";
   }
   return "unknown";
 }
@@ -28,7 +32,8 @@ bool event_kind_from_string(const std::string& name, EventKind& out) {
         EventKind::kEvict, EventKind::kReadmit, EventKind::kFaultBegin,
         EventKind::kFaultEnd, EventKind::kBudgetChange,
         EventKind::kClientConnect, EventKind::kClientDisconnect,
-        EventKind::kSpan}) {
+        EventKind::kSpan, EventKind::kJobSubmit, EventKind::kJobStart,
+        EventKind::kJobEnd, EventKind::kJobRequeue}) {
     if (name == to_string(kind)) {
       out = kind;
       return true;

@@ -45,6 +45,18 @@ enum class EventKind : std::uint8_t {
   /// A profiled scope (RAII span). detail = span name,
   /// extra = duration [s]; time is the span start.
   kSpan,
+  /// A job entered the scheduler's queue (src/sched/). value = job id,
+  /// extra = requested units.
+  kJobSubmit,
+  /// A queued job was placed and started running. unit = first unit of
+  /// its allocation, value = job id, extra = granted units.
+  kJobStart,
+  /// A running job finished and released its units. value = job id,
+  /// extra = queue wait [s] (final start - submit).
+  kJobEnd,
+  /// A running job was killed by a unit crash and put back in the queue.
+  /// unit = the crashed unit, value = job id, extra = retries so far.
+  kJobRequeue,
 };
 
 /// Stable lower_snake name for CSV / trace exports.

@@ -22,6 +22,10 @@ const char* category_of(const std::string& kind) {
   if (kind == "fault_begin" || kind == "fault_end") return "faults";
   if (kind == "client_connect" || kind == "client_disconnect") return "net";
   if (kind == "span") return "prof";
+  if (kind == "job_submit" || kind == "job_start" || kind == "job_end" ||
+      kind == "job_requeue") {
+    return "sched";
+  }
   return "obs";
 }
 

@@ -1,0 +1,162 @@
+#include "sched/arrivals.hpp"
+
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace dps::sched {
+namespace {
+
+void validate(const std::vector<JobArrival>& records) {
+  Seconds last = 0.0;
+  for (const auto& r : records) {
+    if (!(r.time >= 0.0)) {
+      throw std::invalid_argument("ArrivalStream: negative arrival time");
+    }
+    if (r.time < last) {
+      throw std::invalid_argument("ArrivalStream: records out of order");
+    }
+    if (r.n_units < 1) {
+      throw std::invalid_argument("ArrivalStream: n_units must be >= 1");
+    }
+    if (r.workload.empty()) {
+      throw std::invalid_argument("ArrivalStream: empty workload name");
+    }
+    last = r.time;
+  }
+}
+
+[[noreturn]] void malformed(std::size_t line, const std::string& what) {
+  throw std::runtime_error("job trace line " + std::to_string(line) + ": " +
+                           what);
+}
+
+std::string trim(const std::string& s) {
+  const auto begin = s.find_first_not_of(" \t\r");
+  if (begin == std::string::npos) return "";
+  const auto end = s.find_last_not_of(" \t\r");
+  return s.substr(begin, end - begin + 1);
+}
+
+double parse_number(const std::string& field, std::size_t line,
+                    const char* what) {
+  const std::string t = trim(field);
+  if (t.empty()) malformed(line, std::string("empty ") + what);
+  char* end = nullptr;
+  const double v = std::strtod(t.c_str(), &end);
+  if (end != t.c_str() + t.size() || !std::isfinite(v)) {
+    malformed(line, std::string("unparsable ") + what + " '" + t + "'");
+  }
+  return v;
+}
+
+}  // namespace
+
+ArrivalStream ArrivalStream::from_records(std::vector<JobArrival> records) {
+  validate(records);
+  ArrivalStream stream;
+  stream.records_ = std::move(records);
+  return stream;
+}
+
+ArrivalStream ArrivalStream::poisson(const PoissonArrivalConfig& config) {
+  if (config.count < 0) {
+    throw std::invalid_argument("PoissonArrivalConfig: count must be >= 0");
+  }
+  if (config.count > 0) {
+    if (config.rate_per_1000s <= 0.0) {
+      throw std::invalid_argument("PoissonArrivalConfig: rate must be > 0");
+    }
+    if (config.workloads.empty()) {
+      throw std::invalid_argument(
+          "PoissonArrivalConfig: need at least one workload name");
+    }
+    if (config.min_units < 1 || config.max_units < config.min_units) {
+      throw std::invalid_argument("PoissonArrivalConfig: bad unit range");
+    }
+  }
+  Rng rng(config.seed);
+  const double mean_gap = 1000.0 / config.rate_per_1000s;
+  std::vector<JobArrival> records;
+  records.reserve(static_cast<std::size_t>(config.count));
+  Seconds at = 0.0;
+  for (int i = 0; i < config.count; ++i) {
+    // Exponential inter-arrival gap via inverse transform.
+    double u = 0.0;
+    while (u == 0.0) u = rng.uniform();
+    at += -mean_gap * std::log(u);
+    JobArrival record;
+    record.time = at;
+    record.workload = config.workloads[static_cast<std::size_t>(
+        rng.uniform_int(config.workloads.size()))];
+    record.n_units =
+        config.min_units +
+        static_cast<int>(rng.uniform_int(static_cast<std::uint64_t>(
+            config.max_units - config.min_units + 1)));
+    record.walltime = 0.0;  // filled from the spec at submit time
+    records.push_back(std::move(record));
+  }
+  return from_records(std::move(records));
+}
+
+std::vector<JobArrival> parse_job_trace(const std::string& text) {
+  std::vector<JobArrival> records;
+  std::istringstream in(text);
+  std::string raw;
+  std::size_t line_no = 0;
+  Seconds last = 0.0;
+  while (std::getline(in, raw)) {
+    ++line_no;
+    const std::string line = trim(raw);
+    if (line.empty() || line[0] == '#' || line[0] == ';') continue;
+
+    std::vector<std::string> fields;
+    std::string field;
+    std::istringstream fs(line);
+    while (std::getline(fs, field, ',')) fields.push_back(trim(field));
+    if (line.back() == ',') fields.push_back("");
+
+    // Optional header row.
+    if (fields.size() >= 1 && fields[0] == "arrival_time") continue;
+
+    if (fields.size() != 4) {
+      malformed(line_no, "expected 4 fields "
+                         "(arrival_time, workload_name, n_units, walltime), "
+                         "got " + std::to_string(fields.size()));
+    }
+    JobArrival record;
+    record.time = parse_number(fields[0], line_no, "arrival_time");
+    if (record.time < 0.0) malformed(line_no, "negative arrival_time");
+    if (record.time < last) {
+      malformed(line_no, "arrival_time not sorted (goes backwards)");
+    }
+    record.workload = fields[1];
+    if (record.workload.empty()) malformed(line_no, "empty workload_name");
+    const double units = parse_number(fields[2], line_no, "n_units");
+    if (units < 1.0 || units != std::floor(units)) {
+      malformed(line_no, "n_units must be a positive integer");
+    }
+    record.n_units = static_cast<int>(units);
+    record.walltime = parse_number(fields[3], line_no, "walltime");
+    if (record.walltime <= 0.0) malformed(line_no, "walltime must be > 0");
+    last = record.time;
+    records.push_back(std::move(record));
+  }
+  return records;
+}
+
+std::vector<JobArrival> load_job_trace(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("cannot read job trace: " + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse_job_trace(buffer.str());
+}
+
+}  // namespace dps::sched

@@ -1,0 +1,30 @@
+#include "sched/job.hpp"
+
+namespace dps::sched {
+
+const char* to_string(SchedPolicy policy) {
+  switch (policy) {
+    case SchedPolicy::kFcfs:
+      return "fcfs";
+    case SchedPolicy::kEasyBackfill:
+      return "backfill";
+    case SchedPolicy::kPowerAware:
+      return "power";
+  }
+  return "unknown";
+}
+
+bool sched_policy_from_string(const std::string& name, SchedPolicy& out) {
+  if (name == "fcfs") {
+    out = SchedPolicy::kFcfs;
+  } else if (name == "backfill" || name == "easy" || name == "easy-backfill") {
+    out = SchedPolicy::kEasyBackfill;
+  } else if (name == "power" || name == "power-aware") {
+    out = SchedPolicy::kPowerAware;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace dps::sched

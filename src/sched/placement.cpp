@@ -1,0 +1,63 @@
+#include "sched/placement.hpp"
+
+#include <stdexcept>
+
+namespace dps::sched {
+
+PlacementMap::PlacementMap(int total_units) {
+  if (total_units <= 0) {
+    throw std::invalid_argument("PlacementMap: total_units must be > 0");
+  }
+  owner_.assign(static_cast<std::size_t>(total_units), -1);
+  crashed_.assign(static_cast<std::size_t>(total_units), false);
+}
+
+int PlacementMap::free_count() const {
+  int free = 0;
+  for (std::size_t u = 0; u < owner_.size(); ++u) {
+    if (owner_[u] < 0 && !crashed_[u]) ++free;
+  }
+  return free;
+}
+
+std::vector<int> PlacementMap::bind(int job_id, int n) {
+  std::vector<int> picked;
+  picked.reserve(static_cast<std::size_t>(n));
+  for (std::size_t u = 0; u < owner_.size() &&
+                          picked.size() < static_cast<std::size_t>(n);
+       ++u) {
+    if (owner_[u] < 0 && !crashed_[u]) picked.push_back(static_cast<int>(u));
+  }
+  if (picked.size() < static_cast<std::size_t>(n)) {
+    throw std::invalid_argument("PlacementMap::bind: not enough free units");
+  }
+  for (const int u : picked) owner_[static_cast<std::size_t>(u)] = job_id;
+  busy_ += n;
+  return picked;
+}
+
+std::vector<int> PlacementMap::release(int job_id) {
+  std::vector<int> freed;
+  for (std::size_t u = 0; u < owner_.size(); ++u) {
+    if (owner_[u] == job_id) {
+      owner_[u] = -1;
+      freed.push_back(static_cast<int>(u));
+    }
+  }
+  busy_ -= static_cast<int>(freed.size());
+  return freed;
+}
+
+void PlacementMap::set_crashed(int unit, bool crashed) {
+  crashed_.at(static_cast<std::size_t>(unit)) = crashed;
+}
+
+std::vector<int> PlacementMap::units_of(int job_id) const {
+  std::vector<int> units;
+  for (std::size_t u = 0; u < owner_.size(); ++u) {
+    if (owner_[u] == job_id) units.push_back(static_cast<int>(u));
+  }
+  return units;
+}
+
+}  // namespace dps::sched

@@ -1,0 +1,20 @@
+#include "sched/queue.hpp"
+
+#include <algorithm>
+
+namespace dps::sched {
+
+void JobQueue::requeue(Job job) {
+  const auto pos = std::find_if(
+      jobs_.begin(), jobs_.end(),
+      [&](const Job& queued) { return queued.submit_time > job.submit_time; });
+  jobs_.insert(pos, std::move(job));
+}
+
+Job JobQueue::take(std::size_t i) {
+  Job job = std::move(jobs_.at(i));
+  jobs_.erase(jobs_.begin() + static_cast<std::ptrdiff_t>(i));
+  return job;
+}
+
+}  // namespace dps::sched

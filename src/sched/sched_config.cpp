@@ -1,0 +1,103 @@
+#include "sched/sched_config.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace dps::sched {
+namespace {
+
+std::vector<std::string> split_names(const std::string& value) {
+  std::vector<std::string> names;
+  std::istringstream in(value);
+  std::string item;
+  while (std::getline(in, item, ',')) {
+    const auto begin = item.find_first_not_of(" \t");
+    if (begin == std::string::npos) continue;
+    const auto end = item.find_last_not_of(" \t");
+    names.push_back(item.substr(begin, end - begin + 1));
+  }
+  return names;
+}
+
+}  // namespace
+
+JobScheduleConfig sched_config_from_ini(const IniFile& ini) {
+  JobScheduleConfig config;
+  const std::string section = "sched";
+
+  if (const auto v = ini.get(section, "policy")) {
+    if (!sched_policy_from_string(*v, config.policy)) {
+      throw std::invalid_argument("[sched] unknown policy: " + *v);
+    }
+  }
+  if (const auto v = ini.get_int(section, "seed")) {
+    config.seed = static_cast<std::uint64_t>(*v);
+  }
+  if (const auto v = ini.get_double(section, "arrival_rate")) {
+    if (*v <= 0.0) {
+      throw std::invalid_argument("[sched] arrival_rate must be > 0");
+    }
+    config.arrival_rate_per_1000s = *v;
+  }
+  if (const auto v = ini.get_int(section, "job_count")) {
+    if (*v < 0) throw std::invalid_argument("[sched] job_count must be >= 0");
+    config.job_count = static_cast<int>(*v);
+  }
+  if (const auto v = ini.get_int(section, "min_units")) {
+    if (*v < 1) throw std::invalid_argument("[sched] min_units must be >= 1");
+    config.min_units = static_cast<int>(*v);
+  }
+  if (const auto v = ini.get_int(section, "max_units")) {
+    if (*v < 1) throw std::invalid_argument("[sched] max_units must be >= 1");
+    config.max_units = static_cast<int>(*v);
+  }
+  if (config.max_units < config.min_units) {
+    throw std::invalid_argument("[sched] max_units < min_units");
+  }
+  if (const auto v = ini.get(section, "workload_mix")) {
+    const auto names = split_names(*v);
+    if (names.empty()) {
+      throw std::invalid_argument("[sched] workload_mix names no workloads");
+    }
+    config.workload_mix = names;
+  }
+  if (const auto v = ini.get(section, "job_trace"); v && !v->empty()) {
+    config.trace = load_job_trace(*v);
+  }
+  if (const auto v = ini.get_int(section, "retry_cap")) {
+    if (*v < 0) throw std::invalid_argument("[sched] retry_cap must be >= 0");
+    config.retry_cap = static_cast<int>(*v);
+  }
+  if (const auto v = ini.get_double(section, "slowdown_bound")) {
+    if (*v <= 0.0) {
+      throw std::invalid_argument("[sched] slowdown_bound must be > 0");
+    }
+    config.slowdown_bound = *v;
+  }
+  if (const auto v = ini.get_double(section, "walltime_factor")) {
+    if (*v <= 0.0) {
+      throw std::invalid_argument("[sched] walltime_factor must be > 0");
+    }
+    config.walltime_factor = *v;
+  }
+  if (const auto v = ini.get_double(section, "power_fit_fraction")) {
+    if (*v <= 0.0) {
+      throw std::invalid_argument("[sched] power_fit_fraction must be > 0");
+    }
+    config.power.fit_fraction = *v;
+  }
+  if (const auto v = ini.get_double(section, "min_shrink_fraction")) {
+    if (*v <= 0.0 || *v > 1.0) {
+      throw std::invalid_argument(
+          "[sched] min_shrink_fraction must be in (0, 1]");
+    }
+    config.power.min_shrink_fraction = *v;
+  }
+  return config;
+}
+
+JobScheduleConfig sched_config_from_file(const std::string& path) {
+  return sched_config_from_ini(IniFile::load(path));
+}
+
+}  // namespace dps::sched

@@ -1,0 +1,186 @@
+#include "sched/scheduler.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace dps::sched {
+namespace {
+
+struct Reservation {
+  Seconds shadow = std::numeric_limits<double>::infinity();
+  int extra = 0;  // units still free at the shadow time after the head starts
+};
+
+/// Earliest time the head job's `need` units come free, given what is
+/// running (including jobs placed earlier in this same round) and the
+/// `free` units available now. When even every running job's end cannot
+/// free enough units (e.g. crashed units shrank the pool), the shadow is
+/// infinite and backfill is unconstrained — holding the whole queue
+/// hostage to an unsatisfiable head would stall the system.
+Reservation reserve(std::vector<RunningJob> running, Seconds now, int free,
+                    int need, int total_units) {
+  std::sort(running.begin(), running.end(),
+            [](const RunningJob& a, const RunningJob& b) {
+              return a.expected_end != b.expected_end
+                         ? a.expected_end < b.expected_end
+                         : a.n_units < b.n_units;
+            });
+  int cumulative = free;
+  for (const auto& r : running) {
+    cumulative += r.n_units;
+    if (cumulative >= need) {
+      return Reservation{std::max(r.expected_end, now), cumulative - need};
+    }
+  }
+  return Reservation{std::numeric_limits<double>::infinity(), total_units};
+}
+
+}  // namespace
+
+ScheduleOutcome FcfsScheduler::schedule(const JobQueue& queue,
+                                        const SchedView& view) {
+  ScheduleOutcome out;
+  int free = view.free_units;
+  for (std::size_t i = 0; i < queue.size(); ++i) {
+    const int need = queue.at(i).arrival.n_units;
+    if (need > free) break;  // strict FCFS: the head blocks the queue
+    out.placements.push_back(PlacementDecision{i, need});
+    free -= need;
+  }
+  return out;
+}
+
+ScheduleOutcome EasyBackfillScheduler::schedule(const JobQueue& queue,
+                                                const SchedView& view) {
+  ScheduleOutcome out;
+  int free = view.free_units;
+  // Jobs placed this round join the running set so the head's reservation
+  // accounts for the units they will eventually free.
+  std::vector<RunningJob> running = view.running;
+
+  std::size_t head = 0;
+  for (; head < queue.size(); ++head) {
+    const Job& job = queue.at(head);
+    const int need = job.arrival.n_units;
+    if (need > free) break;
+    out.placements.push_back(PlacementDecision{head, need});
+    free -= need;
+    running.push_back(RunningJob{view.now + job.walltime, need});
+  }
+  if (head >= queue.size()) return out;
+
+  const Reservation res = reserve(running, view.now, free,
+                                  queue.at(head).arrival.n_units,
+                                  view.total_units);
+  int extra = res.extra;
+  for (std::size_t j = head + 1; j < queue.size(); ++j) {
+    const Job& job = queue.at(j);
+    const int need = job.arrival.n_units;
+    if (need > free) continue;
+    // EASY invariant: a backfilled job must not delay the head's
+    // reservation — it either ends before the shadow time or fits into
+    // the units left over at it.
+    const bool ends_before = view.now + job.walltime <= res.shadow;
+    const bool fits_extra = need <= extra;
+    if (!ends_before && !fits_extra) continue;
+    out.placements.push_back(PlacementDecision{j, need});
+    free -= need;
+    if (!ends_before) extra -= need;
+  }
+  return out;
+}
+
+ScheduleOutcome PowerAwareScheduler::schedule(const JobQueue& queue,
+                                              const SchedView& view) {
+  ScheduleOutcome out;
+  int free = view.free_units;
+  Watts load = view.running_demand;
+  std::vector<RunningJob> running = view.running;
+
+  // Projected cluster draw if a job with `demand` total watts of appetite
+  // starts on `units` of the currently free units: running jobs keep
+  // drawing their mean demand, every unit left idle draws idle power.
+  const auto fits_budget = [&](Watts demand, int units) {
+    const Watts idle_after = static_cast<Watts>(free - units) * view.idle_power;
+    return load + demand + idle_after <=
+           config_.fit_fraction * view.budget + 1e-9;
+  };
+
+  std::size_t head = 0;
+  for (; head < queue.size(); ++head) {
+    const Job& job = queue.at(head);
+    const int need = job.arrival.n_units;
+    if (need > free) break;  // unit-blocked: fall through to backfill
+    const Watts per_unit = job.spec.mean_demand();
+    const int min_grant = std::max(
+        1, static_cast<int>(std::ceil(need * config_.min_shrink_fraction)));
+    int granted = 0;
+    for (int g = need; g >= min_grant; --g) {
+      if (fits_budget(per_unit * g, g)) {
+        granted = g;
+        break;
+      }
+    }
+    if (granted == 0 && running.empty() && out.placements.empty()) {
+      // Progress guarantee: on an otherwise empty cluster even a job that
+      // can never satisfy the gate runs (maximally shrunk) rather than
+      // wedging the queue forever.
+      granted = min_grant;
+    }
+    if (granted == 0) {
+      ++out.power_stalls;
+      break;
+    }
+    // A shrunk job conserves total work, so its walltime stretches by the
+    // shrink ratio.
+    const Seconds walltime =
+        job.walltime * static_cast<double>(need) / granted;
+    out.placements.push_back(PlacementDecision{head, granted});
+    free -= granted;
+    load += per_unit * granted;
+    running.push_back(RunningJob{view.now + walltime, granted});
+  }
+  if (head >= queue.size()) return out;
+
+  // Reserve units for the blocked head exactly as EASY does. A
+  // power-blocked head reserves its full request: its units come free
+  // with time, and the gate is re-evaluated every round anyway.
+  const Reservation res = reserve(running, view.now, free,
+                                  queue.at(head).arrival.n_units,
+                                  view.total_units);
+  int extra = res.extra;
+  for (std::size_t j = head + 1; j < queue.size(); ++j) {
+    const Job& job = queue.at(j);
+    const int need = job.arrival.n_units;
+    if (need > free) continue;
+    const bool ends_before = view.now + job.walltime <= res.shadow;
+    const bool fits_extra = need <= extra;
+    if (!ends_before && !fits_extra) continue;
+    const Watts demand = job.spec.mean_demand() * need;
+    if (!fits_budget(demand, need)) {
+      ++out.power_stalls;
+      continue;
+    }
+    out.placements.push_back(PlacementDecision{j, need});
+    free -= need;
+    load += demand;
+    if (!ends_before) extra -= need;
+  }
+  return out;
+}
+
+std::unique_ptr<Scheduler> make_scheduler(SchedPolicy policy,
+                                          const PowerAwareConfig& config) {
+  switch (policy) {
+    case SchedPolicy::kFcfs:
+      return std::make_unique<FcfsScheduler>();
+    case SchedPolicy::kEasyBackfill:
+      return std::make_unique<EasyBackfillScheduler>();
+    case SchedPolicy::kPowerAware:
+      return std::make_unique<PowerAwareScheduler>(config);
+  }
+  return std::make_unique<FcfsScheduler>();
+}
+
+}  // namespace dps::sched

@@ -1,0 +1,118 @@
+#pragma once
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "sched/queue.hpp"
+
+namespace dps::sched {
+
+/// One running job as the scheduler sees it: when its walltime estimate
+/// says it will end and how many units it will free. The placement layer
+/// clamps overdue estimates to "just after now" so reservations stay
+/// finite when a job runs past its estimate.
+struct RunningJob {
+  Seconds expected_end = 0.0;
+  int n_units = 0;
+};
+
+/// Everything a policy may consult when deciding placements. Built by the
+/// runtime each tick from the cluster, the power manager's caps, and the
+/// budget in effect — the scheduler itself never touches the cluster.
+struct SchedView {
+  Seconds now = 0.0;
+  int total_units = 0;
+  /// Idle, un-crashed units available right now.
+  int free_units = 0;
+  /// Cluster-wide power budget in effect (after any budget-sag fault).
+  Watts budget = 0.0;
+  /// Sum of the manager's current per-unit caps — the headroom signal
+  /// (budget - cap_sum) a power-aware policy may consult.
+  Watts cap_sum = 0.0;
+  /// Projected draw of the jobs already running (mean demand x units).
+  Watts running_demand = 0.0;
+  /// Idle draw of one unit (projection baseline for unoccupied units).
+  Watts idle_power = 0.0;
+  std::vector<RunningJob> running;
+};
+
+/// One placement: start the job at `queue_index` (an index into the queue
+/// state the decision was computed against) on `granted_units` units —
+/// equal to the job's request unless the policy shrank it.
+struct PlacementDecision {
+  std::size_t queue_index = 0;
+  int granted_units = 0;
+};
+
+struct ScheduleOutcome {
+  std::vector<PlacementDecision> placements;
+  /// Jobs the power gate held back this round although they fit
+  /// unit-wise (power-aware policy only).
+  int power_stalls = 0;
+};
+
+/// A queueing policy: given the queue and the view, pick the jobs to
+/// start now. Implementations must be deterministic functions of their
+/// inputs — every run of the same stream is bit-reproducible.
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+  virtual std::string_view name() const = 0;
+  virtual ScheduleOutcome schedule(const JobQueue& queue,
+                                   const SchedView& view) = 0;
+};
+
+/// Strict FCFS: start head jobs while they fit; the first that does not
+/// fit blocks everything behind it.
+class FcfsScheduler : public Scheduler {
+ public:
+  std::string_view name() const override { return "fcfs"; }
+  ScheduleOutcome schedule(const JobQueue& queue,
+                           const SchedView& view) override;
+};
+
+/// EASY backfill: like FCFS, but when the head is blocked it gets a
+/// reservation at the earliest time running jobs' estimates free enough
+/// units (the shadow time), and later jobs may start now only if they
+/// cannot delay that reservation: either they end before the shadow time
+/// or they fit into the units left over at it.
+class EasyBackfillScheduler : public Scheduler {
+ public:
+  std::string_view name() const override { return "backfill"; }
+  ScheduleOutcome schedule(const JobQueue& queue,
+                           const SchedView& view) override;
+};
+
+struct PowerAwareConfig {
+  /// Admit a job only while the projected cluster draw (running jobs'
+  /// mean demand + the candidate's + idle draw of the remaining units)
+  /// stays within this fraction of the budget. 1.0 = fill the budget.
+  double fit_fraction = 1.0;
+  /// A power-gated head job may be granted as few as
+  /// ceil(requested * min_shrink_fraction) units before being delayed.
+  double min_shrink_fraction = 0.5;
+};
+
+/// EASY backfill behind a power-admission gate: every placement must also
+/// fit the budget projection; a gated head job is first shrunk (granted
+/// fewer units — its per-unit work scales up so total work is conserved)
+/// and only delayed when even the smallest grant does not fit. Delays are
+/// reported as throttle stalls. To guarantee progress the gate never
+/// blocks the head on an otherwise empty cluster.
+class PowerAwareScheduler : public Scheduler {
+ public:
+  explicit PowerAwareScheduler(const PowerAwareConfig& config = {})
+      : config_(config) {}
+  std::string_view name() const override { return "power"; }
+  ScheduleOutcome schedule(const JobQueue& queue,
+                           const SchedView& view) override;
+
+ private:
+  PowerAwareConfig config_;
+};
+
+std::unique_ptr<Scheduler> make_scheduler(SchedPolicy policy,
+                                          const PowerAwareConfig& config = {});
+
+}  // namespace dps::sched

@@ -19,7 +19,7 @@ Cluster::Cluster(std::vector<GroupSpec> groups, const PerfModel& model)
     group.rotation = gspec.rotation;
     group.first_unit = static_cast<int>(units_.size());
     group.sockets = gspec.sockets;
-    group.rng = Rng(gspec.seed);
+    group.seed = gspec.seed;
     for (int s = 0; s < gspec.sockets; ++s) {
       UnitState unit;
       unit.group = static_cast<int>(groups_.size());
@@ -27,6 +27,128 @@ Cluster::Cluster(std::vector<GroupSpec> groups, const PerfModel& model)
     }
     groups_.push_back(std::move(group));
     start_new_run(groups_.back());
+  }
+}
+
+Cluster::Cluster(int total_units, const PerfModel& model)
+    : model_(model), job_mode_(true) {
+  if (total_units <= 0) {
+    throw std::invalid_argument("Cluster: need total_units > 0");
+  }
+  units_.resize(static_cast<std::size_t>(total_units));
+  for (auto& unit : units_) {
+    unit.group = -1;
+    unit.done = true;  // idle until a job binds the unit
+  }
+}
+
+int Cluster::start_job(const WorkloadSpec& spec, std::span<const int> units,
+                       std::uint64_t seed) {
+  if (!job_mode_) {
+    throw std::logic_error("Cluster::start_job: not a job-mode cluster");
+  }
+  if (units.empty()) {
+    throw std::invalid_argument("Cluster::start_job: empty allocation");
+  }
+  const int slot = static_cast<int>(jobs_.size());
+  JobState job;
+  job.active = true;
+  job.units.assign(units.begin(), units.end());
+  for (std::size_t i = 0; i < job.units.size(); ++i) {
+    auto& unit = units_.at(static_cast<std::size_t>(job.units[i]));
+    if (unit.job_slot >= 0) {
+      throw std::invalid_argument("Cluster::start_job: unit already bound");
+    }
+    unit.job_slot = slot;
+    unit.progress = 0.0;
+    unit.segment_hint = 0;
+    unit.done = false;
+    // Realizations are keyed by position within the allocation, so a
+    // job's jitter draw does not depend on which physical units the
+    // placement handed it.
+    unit.instance =
+        WorkloadInstance(spec, mix_seed(seed, static_cast<std::uint64_t>(i)));
+  }
+  jobs_.push_back(std::move(job));
+  return slot;
+}
+
+void Cluster::abort_job(int slot) {
+  auto& job = jobs_.at(static_cast<std::size_t>(slot));
+  if (!job.active) return;
+  job.active = false;
+  for (const int u : job.units) {
+    auto& unit = units_.at(static_cast<std::size_t>(u));
+    if (unit.job_slot != slot) continue;
+    unit.job_slot = -1;
+    unit.done = true;
+    unit.instance = WorkloadInstance::idle(1.0);
+  }
+}
+
+std::vector<int> Cluster::drain_finished_jobs() {
+  std::vector<int> finished = std::move(finished_slots_);
+  finished_slots_.clear();
+  return finished;
+}
+
+int Cluster::busy_units() const {
+  int busy = 0;
+  for (const auto& unit : units_) {
+    if (unit.job_slot >= 0) ++busy;
+  }
+  return busy;
+}
+
+void Cluster::step_jobs(Seconds dt, std::span<const Watts> effective_caps,
+                        std::span<Watts> true_power_out) {
+  for (std::size_t u = 0; u < units_.size(); ++u) {
+    auto& unit = units_[u];
+    if (unit.crashed) {
+      unit.last_power = 0.0;
+      true_power_out[u] = 0.0;
+      continue;
+    }
+    Watts demand = kIdlePower;
+    if (unit.job_slot >= 0 && !unit.done) {
+      demand = unit.instance.demand_at(unit.progress, &unit.segment_hint);
+      const double speed = model_.speed(demand, effective_caps[u]);
+      unit.progress += speed * dt;
+      if (unit.progress >= unit.instance.total_work()) unit.done = true;
+    }
+    const Watts drawn = unit.job_slot >= 0 && !unit.done
+                            ? model_.power_drawn(demand, effective_caps[u])
+                            : kIdlePower;
+    unit.last_power = drawn;
+    unit.energy += drawn * dt;
+    true_power_out[u] = drawn;
+  }
+
+  now_ += dt;
+
+  // A job retires when all of its units finished their realizations. A
+  // crashed unit stalls its job until the scheduling runtime evicts it.
+  for (std::size_t slot = 0; slot < jobs_.size(); ++slot) {
+    auto& job = jobs_[slot];
+    if (!job.active) continue;
+    bool all_done = true;
+    for (const int u : job.units) {
+      const auto& unit = units_[static_cast<std::size_t>(u)];
+      if (unit.crashed || !unit.done) {
+        all_done = false;
+        break;
+      }
+    }
+    if (!all_done) continue;
+    job.active = false;
+    for (const int u : job.units) {
+      auto& unit = units_[static_cast<std::size_t>(u)];
+      unit.job_slot = -1;
+      unit.instance = WorkloadInstance::idle(1.0);
+      unit.done = true;
+    }
+    finished_slots_.push_back(static_cast<int>(slot));
+    ++jobs_completed_;
   }
 }
 
@@ -41,13 +163,20 @@ void Cluster::start_new_run(GroupState& group) {
                          : group.sockets;
   group.run_start = now_;
   group.in_gap = false;
+  ++group.run_index;
   for (int s = 0; s < group.sockets; ++s) {
     auto& unit = units_[group.first_unit + s];
     unit.progress = 0.0;
     unit.segment_hint = 0;
     unit.done = false;
     if (s < active) {
-      unit.instance = WorkloadInstance(spec, group.rng);
+      // Each realization draws from its own RNG stream keyed by stable
+      // coordinates, so the same engine seed yields bit-identical jitter
+      // no matter what else (other groups, scheduled jobs) was
+      // instantiated before it.
+      unit.instance = WorkloadInstance(
+          spec, mix_seed(group.seed, static_cast<std::uint64_t>(group.run_index),
+                         static_cast<std::uint64_t>(s)));
     } else {
       // Inactive sockets idle for the nominal duration; completion is
       // governed by the active sockets only.
@@ -62,6 +191,10 @@ void Cluster::step(Seconds dt, std::span<const Watts> effective_caps,
   if (effective_caps.size() != units_.size() ||
       true_power_out.size() != units_.size()) {
     throw std::invalid_argument("Cluster::step: span size mismatch");
+  }
+  if (job_mode_) {
+    step_jobs(dt, effective_caps, true_power_out);
+    return;
   }
 
   for (std::size_t u = 0; u < units_.size(); ++u) {
@@ -128,11 +261,19 @@ void Cluster::true_demands(std::span<Watts> out) const {
   }
   for (std::size_t u = 0; u < units_.size(); ++u) {
     const auto& unit = units_[u];
+    if (unit.crashed) {
+      out[u] = 0.0;
+      continue;
+    }
+    if (job_mode_) {
+      out[u] = unit.job_slot >= 0 && !unit.done
+                   ? unit.instance.demand_at(unit.progress)
+                   : kIdlePower;
+      continue;
+    }
     const auto& group = groups_[unit.group];
-    out[u] = unit.crashed              ? 0.0
-             : (group.in_gap || unit.done)
-                 ? kIdlePower
-                 : unit.instance.demand_at(unit.progress);
+    out[u] = group.in_gap || unit.done ? kIdlePower
+                                       : unit.instance.demand_at(unit.progress);
   }
 }
 
@@ -141,6 +282,7 @@ const std::vector<Completion>& Cluster::completions(int g) const {
 }
 
 int Cluster::min_completions() const {
+  if (job_mode_) return jobs_completed_;
   int min_runs = static_cast<int>(groups_.front().completions.size());
   for (const auto& group : groups_) {
     min_runs = std::min(min_runs, static_cast<int>(group.completions.size()));

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "sched/placement.hpp"
 #include "sim/perf_model.hpp"
 #include "util/rng.hpp"
 #include "workloads/instance.hpp"
@@ -49,9 +50,18 @@ struct GroupSpec {
 /// (a run finishes when its slowest active socket finishes — Spark stages
 /// and MPI ranks synchronize), and schedules the next run after the
 /// workload's inter-run gap.
-class Cluster {
+/// In *job mode* (the second constructor) there are no static groups:
+/// units start idle and the scheduling runtime binds WorkloadSpecs to them
+/// through the sched::JobHost interface. A job finishes when every unit of
+/// its allocation finishes its realization (synchronizing stages, as in
+/// group mode).
+class Cluster : public sched::JobHost {
  public:
   Cluster(std::vector<GroupSpec> groups, const PerfModel& model = PerfModel());
+
+  /// Job-mode cluster: `total_units` idle power-capping units and no
+  /// groups. Drive it via the JobHost interface.
+  explicit Cluster(int total_units, const PerfModel& model = PerfModel());
 
   int total_units() const { return static_cast<int>(units_.size()); }
   int num_groups() const { return static_cast<int>(groups_.size()); }
@@ -69,8 +79,22 @@ class Cluster {
   /// Completed runs of group `g` so far.
   const std::vector<Completion>& completions(int g) const;
 
-  /// Runs completed by the group with the fewest completions.
+  /// Runs completed by the group with the fewest completions. In job mode
+  /// (no groups) this is the number of completed jobs.
   int min_completions() const;
+
+  // --- sched::JobHost (job mode only; throws in group mode) ---
+  int start_job(const WorkloadSpec& spec, std::span<const int> units,
+                std::uint64_t seed) override;
+  void abort_job(int slot) override;
+  std::vector<int> drain_finished_jobs() override;
+  bool unit_crashed(int unit) const override {
+    return units_.at(static_cast<std::size_t>(unit)).crashed;
+  }
+
+  bool job_mode() const { return job_mode_; }
+  /// Units currently bound to a job (job mode).
+  int busy_units() const;
 
   /// Simulated time so far.
   Seconds now() const { return now_; }
@@ -101,14 +125,20 @@ class Cluster {
 
  private:
   struct UnitState {
-    int group = 0;
+    int group = 0;  // -1 in job mode
     WorkloadInstance instance = WorkloadInstance::idle(1.0);
     Seconds progress = 0.0;
     std::size_t segment_hint = 0;  // amortizes demand lookups
     bool done = false;  // finished its instance, waiting for the group
     bool crashed = false;  // fault-injected: dark, frozen until restart
+    int job_slot = -1;  // job mode: slot of the bound job, -1 = idle
     Joules energy = 0.0;
     Watts last_power = 0.0;
+  };
+
+  struct JobState {
+    std::vector<int> units;
+    bool active = false;
   };
 
   struct GroupState {
@@ -118,7 +148,8 @@ class Cluster {
     int current_workload_index = 0;
     int first_unit = 0;
     int sockets = 0;
-    Rng rng;
+    std::uint64_t seed = 1;
+    int run_index = -1;  // increments at every start_new_run
     std::vector<Completion> completions;
     Seconds run_start = 0.0;
     Seconds gap_remaining = 0.0;
@@ -134,11 +165,19 @@ class Cluster {
   };
 
   void start_new_run(GroupState& group);
+  void step_jobs(Seconds dt, std::span<const Watts> effective_caps,
+                 std::span<Watts> true_power_out);
 
   std::vector<GroupState> groups_;
   std::vector<UnitState> units_;
   PerfModel model_;
   Seconds now_ = 0.0;
+
+  // Job mode.
+  bool job_mode_ = false;
+  std::vector<JobState> jobs_;       // slot = index; slots are not reused
+  std::vector<int> finished_slots_;  // completed since the last drain
+  int jobs_completed_ = 0;
 };
 
 }  // namespace dps

@@ -49,6 +49,22 @@ EngineResult SimulationEngine::run(Cluster& cluster, SimulatedRapl& rapl,
     result.trace = std::make_shared<TraceRecorder>(n);
   }
 
+  // Job-stream mode: the scheduling runtime owns arrivals, the queue, and
+  // placements; the cluster must have been built in job mode so it exposes
+  // the JobHost surface instead of static groups.
+  std::unique_ptr<sched::SchedRuntime> sched_rt;
+  if (config_.job_schedule.has_value()) {
+    if (!cluster.job_mode()) {
+      throw std::invalid_argument(
+          "engine: job_schedule requires a job-mode Cluster");
+    }
+    sched_rt = std::make_unique<sched::SchedRuntime>(*config_.job_schedule, n,
+                                                     config_.obs);
+  } else if (cluster.job_mode()) {
+    throw std::invalid_argument(
+        "engine: job-mode Cluster requires EngineConfig::job_schedule");
+  }
+
   // Fault machinery: absent a plan, the manager talks to the RAPL
   // directly and none of this costs anything.
   std::unique_ptr<FaultInjector> injector;
@@ -90,9 +106,13 @@ EngineResult SimulationEngine::run(Cluster& cluster, SimulatedRapl& rapl,
   std::size_t next_change = 0;
   if (obs_budget != nullptr) obs_budget->set(effective_budget);
 
+  const auto work_remaining = [&] {
+    return sched_rt ? !sched_rt->finished()
+                    : cluster.min_completions() < config_.target_completions;
+  };
+
   int steps = 0;
-  while (cluster.min_completions() < config_.target_completions &&
-         cluster.now() < config_.max_time) {
+  while (work_remaining() && cluster.now() < config_.max_time) {
     obs.set_time(cluster.now());
     // Deliver any scheduled budget changes that have come due.
     while (next_change < config_.budget_schedule.size() &&
@@ -118,11 +138,18 @@ EngineResult SimulationEngine::run(Cluster& cluster, SimulatedRapl& rapl,
       manager.update_budget(effective_budget);
     }
 
+    // Scheduling round: requeue crash victims, drain due arrivals, and
+    // start whatever the policy places under the in-effect budget.
+    if (sched_rt) {
+      sched_rt->begin_tick(cluster, cluster.now(), effective_budget, caps);
+    }
+
     // Advance the system one period under the currently enforced caps.
     std::vector<Watts> effective(static_cast<std::size_t>(n));
     for (int u = 0; u < n; ++u) effective[u] = rapl.effective_cap(u);
     cluster.true_demands(demands);
     cluster.step(config_.dt, effective, true_power);
+    if (sched_rt) sched_rt->end_tick(cluster, cluster.now(), config_.dt);
     for (int u = 0; u < n; ++u) rapl.record(u, true_power[u], config_.dt);
     rapl.advance_step();
 
@@ -188,10 +215,15 @@ EngineResult SimulationEngine::run(Cluster& cluster, SimulatedRapl& rapl,
   }
   result.steps = steps;
   result.elapsed = cluster.now();
+  result.timed_out = work_remaining();
   result.completions.reserve(static_cast<std::size_t>(cluster.num_groups()));
   for (int g = 0; g < cluster.num_groups(); ++g) {
     result.completions.push_back(cluster.completions(g));
     result.group_mean_power.push_back(cluster.group_mean_power(g));
+  }
+  if (sched_rt) {
+    result.job_outcomes = sched_rt->outcomes();
+    result.sched = sched_rt->stats(cluster.now(), n);
   }
   return result;
 }
@@ -206,6 +238,21 @@ EngineResult run_pair(const WorkloadSpec& a, const WorkloadSpec& b,
 
   RaplSimConfig rapl_config;
   rapl_config.noise_seed = seed * 977 + 13;
+  SimulatedRapl rapl(cluster.total_units(), rapl_config);
+
+  SimulationEngine engine(config);
+  return engine.run(cluster, rapl, manager);
+}
+
+EngineResult run_jobs(PowerManager& manager, const EngineConfig& config,
+                      int total_units, const PerfModel& model) {
+  if (!config.job_schedule.has_value()) {
+    throw std::invalid_argument("run_jobs: config.job_schedule must be set");
+  }
+  Cluster cluster(total_units, model);
+
+  RaplSimConfig rapl_config;
+  rapl_config.noise_seed = config.job_schedule->seed * 977 + 13;
   SimulatedRapl rapl(cluster.total_units(), rapl_config);
 
   SimulationEngine engine(config);

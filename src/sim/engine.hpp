@@ -1,12 +1,14 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "faults/fault_plan.hpp"
 #include "managers/manager.hpp"
 #include "obs/sink.hpp"
 #include "power/rapl_sim.hpp"
+#include "sched/runtime.hpp"
 #include "sim/cluster.hpp"
 #include "sim/trace.hpp"
 
@@ -48,6 +50,14 @@ struct EngineConfig {
   /// decision / cap-write / budget-change events plus decision-latency
   /// histograms through it. Default-constructed = disabled = free.
   obs::ObsSink obs;
+  /// Optional open job-stream mode (src/sched/). When set, the cluster
+  /// must be a job-mode Cluster: instead of static group assignment the
+  /// engine drains arrivals each tick, asks the configured scheduler for
+  /// placements under the in-effect budget, and runs until the stream is
+  /// drained (target_completions is ignored; max_time still bounds the
+  /// run). Node-crash faults evict and requeue the jobs on the crashed
+  /// unit, up to the config's retry cap.
+  std::optional<sched::JobScheduleConfig> job_schedule;
 };
 
 /// Outcome of one simulated experiment run.
@@ -83,6 +93,17 @@ struct EngineResult {
   /// set_cap requests swallowed by stuck-actuator / crash faults.
   std::uint64_t dropped_cap_writes = 0;
 
+  /// True when max_time fired before the run's goal was reached (the
+  /// target completions, or in job mode the end of the job stream).
+  bool timed_out = false;
+
+  // --- Job scheduling (meaningful only when EngineConfig::job_schedule) ---
+  /// Scheduler KPI rollup: waits, bounded slowdown, utilization, power
+  /// throttle stalls.
+  sched::SchedStats sched;
+  /// Per-job lifecycle records in completion order.
+  std::vector<sched::JobOutcome> job_outcomes;
+
   /// Present only when EngineConfig::record_trace was set.
   std::shared_ptr<TraceRecorder> trace;
 };
@@ -110,6 +131,14 @@ class SimulationEngine {
 EngineResult run_pair(const WorkloadSpec& a, const WorkloadSpec& b,
                       PowerManager& manager, const EngineConfig& config,
                       std::uint64_t seed = 42,
+                      const PerfModel& model = PerfModel());
+
+/// Convenience: builds a job-mode cluster of `total_units` units and runs
+/// `manager` under `config.job_schedule` (which must be set) until the job
+/// stream drains or max_time fires. RAPL noise is seeded from the job
+/// schedule's seed, so a fixed config is fully deterministic.
+EngineResult run_jobs(PowerManager& manager, const EngineConfig& config,
+                      int total_units = 20,
                       const PerfModel& model = PerfModel());
 
 }  // namespace dps

@@ -76,6 +76,16 @@ double Rng::normal(double mean, double stddev) {
 
 Rng Rng::split() { return Rng(next_u64()); }
 
+std::uint64_t mix_seed(std::uint64_t a, std::uint64_t b, std::uint64_t c) {
+  std::uint64_t x = a;
+  std::uint64_t out = splitmix64(x);
+  x ^= b + 0x9e3779b97f4a7c15ULL;
+  out ^= splitmix64(x);
+  x ^= c + 0xbf58476d1ce4e5b9ULL;
+  out ^= splitmix64(x);
+  return out;
+}
+
 void shuffle_indices(Rng& rng, std::uint32_t* idx, std::uint32_t n) {
   for (std::uint32_t i = 0; i < n; ++i) idx[i] = i;
   for (std::uint32_t i = n; i > 1; --i) {

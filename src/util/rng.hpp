@@ -55,4 +55,12 @@ class Rng {
 /// The stateless module uses this for its randomized cap-increase loop.
 void shuffle_indices(Rng& rng, std::uint32_t* idx, std::uint32_t n);
 
+/// Mixes up to three coordinates into one well-spread 64-bit seed
+/// (SplitMix64 over the concatenated words). Used to give every
+/// (seed, run, socket) / (seed, job, unit) workload realization its own
+/// independent RNG stream: realizations depend only on the coordinates,
+/// never on how many draws other instances consumed before them.
+std::uint64_t mix_seed(std::uint64_t a, std::uint64_t b = 0,
+                       std::uint64_t c = 0);
+
 }  // namespace dps

@@ -45,6 +45,12 @@ WorkloadInstance::WorkloadInstance(const WorkloadSpec& spec, Rng& rng) {
   segment_starts_ = prefix_starts(segments_);
 }
 
+WorkloadInstance::WorkloadInstance(const WorkloadSpec& spec,
+                                   std::uint64_t seed) {
+  Rng rng(seed);
+  *this = WorkloadInstance(spec, rng);
+}
+
 WorkloadInstance WorkloadInstance::idle(Seconds duration) {
   WorkloadInstance inst;
   inst.segments_.push_back(hold(duration, kIdlePower));

@@ -20,6 +20,13 @@ class WorkloadInstance {
   /// Builds an *active* instance from the spec with jitter drawn from `rng`.
   WorkloadInstance(const WorkloadSpec& spec, Rng& rng);
 
+  /// Builds an *active* instance whose jitter comes from a private RNG
+  /// seeded with `seed`. The same (spec, seed) always yields the
+  /// bit-identical realization regardless of what else was instantiated
+  /// before it — the simulator derives `seed` from stable coordinates
+  /// (engine seed, run index, socket) via mix_seed().
+  WorkloadInstance(const WorkloadSpec& spec, std::uint64_t seed);
+
   /// Builds an idle (inactive-socket) instance that completes after
   /// `duration` seconds drawing idle power. Used for sockets beyond the
   /// spec's active_sockets.

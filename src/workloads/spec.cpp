@@ -63,6 +63,16 @@ Watts WorkloadSpec::peak_demand() const {
   return peak;
 }
 
+Watts WorkloadSpec::mean_demand() const {
+  const Seconds total = nominal_duration();
+  if (total <= 0.0) return 0.0;
+  double energy = 0.0;  // watt-seconds of demand over one uncapped run
+  for (const auto& seg : segments) {
+    energy += seg.duration * 0.5 * (seg.start_power + seg.end_power);
+  }
+  return energy / total;
+}
+
 Watts WorkloadSpec::demand_at(Seconds progress) const {
   if (segments.empty()) {
     throw std::logic_error("WorkloadSpec::demand_at: no segments");

@@ -70,6 +70,11 @@ struct WorkloadSpec {
   /// Peak demand across all segments.
   Watts peak_demand() const;
 
+  /// Duration-weighted mean demand over one uncapped run; the power-aware
+  /// scheduler (src/sched/) uses it to project a job's draw before
+  /// admitting it.
+  Watts mean_demand() const;
+
   /// Demand at a given progress point, linear inside segments; clamps to
   /// the last segment's end power beyond the nominal duration.
   Watts demand_at(Seconds progress) const;

@@ -3,6 +3,7 @@
 #include <fstream>
 
 #include "core/config_io.hpp"
+#include "sched/sched_config.hpp"
 #include "util/ini.hpp"
 
 namespace dps {
@@ -151,6 +152,86 @@ TEST(ConfigIo, MimdBaseIsPreserved) {
   EXPECT_DOUBLE_EQ(config.inc_percentile, 1.3);
   EXPECT_EQ(config.dec_window_steps, base.dec_window_steps);
   EXPECT_DOUBLE_EQ(config.dec_percentile, base.dec_percentile);
+}
+
+// --- [sched] section (src/sched/sched_config) ---
+
+TEST(SchedConfig, ShippedIniMatchesBuiltInDefaults) {
+  // Shipped values must equal the code defaults; a drift means either the
+  // docs/config or JobScheduleConfig changed without the other.
+  const auto config = sched::sched_config_from_file(
+      std::string(DPS_SOURCE_DIR) + "/configs/dps.ini");
+  const sched::JobScheduleConfig defaults;
+  EXPECT_EQ(config.policy, defaults.policy);
+  EXPECT_EQ(config.seed, defaults.seed);
+  EXPECT_DOUBLE_EQ(config.arrival_rate_per_1000s,
+                   defaults.arrival_rate_per_1000s);
+  EXPECT_EQ(config.job_count, defaults.job_count);
+  EXPECT_EQ(config.min_units, defaults.min_units);
+  EXPECT_EQ(config.max_units, defaults.max_units);
+  EXPECT_EQ(config.workload_mix, defaults.workload_mix);
+  EXPECT_TRUE(config.trace.empty());
+  EXPECT_EQ(config.retry_cap, defaults.retry_cap);
+  EXPECT_DOUBLE_EQ(config.slowdown_bound, defaults.slowdown_bound);
+  EXPECT_DOUBLE_EQ(config.walltime_factor, defaults.walltime_factor);
+  EXPECT_DOUBLE_EQ(config.power.fit_fraction, defaults.power.fit_fraction);
+  EXPECT_DOUBLE_EQ(config.power.min_shrink_fraction,
+                   defaults.power.min_shrink_fraction);
+}
+
+TEST(SchedConfig, RoundTripOverridesEveryKey) {
+  const auto config = sched::sched_config_from_ini(IniFile::parse(
+      "[sched]\n"
+      "policy = backfill\n"
+      "seed = 99\n"
+      "arrival_rate = 12.5\n"
+      "job_count = 17\n"
+      "min_units = 1\n"
+      "max_units = 4\n"
+      "workload_mix = LDA, EP ,Sort\n"
+      "retry_cap = 5\n"
+      "slowdown_bound = 20\n"
+      "walltime_factor = 2.0\n"
+      "power_fit_fraction = 0.8\n"
+      "min_shrink_fraction = 0.25\n"));
+  EXPECT_EQ(config.policy, sched::SchedPolicy::kEasyBackfill);
+  EXPECT_EQ(config.seed, 99u);
+  EXPECT_DOUBLE_EQ(config.arrival_rate_per_1000s, 12.5);
+  EXPECT_EQ(config.job_count, 17);
+  EXPECT_EQ(config.min_units, 1);
+  EXPECT_EQ(config.max_units, 4);
+  EXPECT_EQ(config.workload_mix,
+            (std::vector<std::string>{"LDA", "EP", "Sort"}));
+  EXPECT_EQ(config.retry_cap, 5);
+  EXPECT_DOUBLE_EQ(config.slowdown_bound, 20.0);
+  EXPECT_DOUBLE_EQ(config.walltime_factor, 2.0);
+  EXPECT_DOUBLE_EQ(config.power.fit_fraction, 0.8);
+  EXPECT_DOUBLE_EQ(config.power.min_shrink_fraction, 0.25);
+}
+
+TEST(SchedConfig, UnsetKeysKeepDefaults) {
+  const auto config = sched::sched_config_from_ini(
+      IniFile::parse("[sched]\npolicy = power\n"));
+  EXPECT_EQ(config.policy, sched::SchedPolicy::kPowerAware);
+  EXPECT_EQ(config.job_count, sched::JobScheduleConfig{}.job_count);
+}
+
+TEST(SchedConfig, RejectsInvalidValues) {
+  using sched::sched_config_from_ini;
+  EXPECT_THROW(sched_config_from_ini(IniFile::parse("[sched]\npolicy = x\n")),
+               std::invalid_argument);
+  EXPECT_THROW(sched_config_from_ini(IniFile::parse(
+                   "[sched]\nmin_units = 6\nmax_units = 2\n")),
+               std::invalid_argument);
+  EXPECT_THROW(sched_config_from_ini(IniFile::parse(
+                   "[sched]\narrival_rate = 0\n")),
+               std::invalid_argument);
+  EXPECT_THROW(sched_config_from_ini(IniFile::parse(
+                   "[sched]\nmin_shrink_fraction = 1.5\n")),
+               std::invalid_argument);
+  EXPECT_THROW(sched_config_from_ini(IniFile::parse(
+                   "[sched]\nworkload_mix = ,\n")),
+               std::invalid_argument);
 }
 
 }  // namespace

@@ -409,7 +409,8 @@ TEST(EventLogTest, KindNamesRoundTrip) {
         EventKind::kEvict, EventKind::kReadmit, EventKind::kFaultBegin,
         EventKind::kFaultEnd, EventKind::kBudgetChange,
         EventKind::kClientConnect, EventKind::kClientDisconnect,
-        EventKind::kSpan}) {
+        EventKind::kSpan, EventKind::kJobSubmit, EventKind::kJobStart,
+        EventKind::kJobEnd, EventKind::kJobRequeue}) {
     EventKind back;
     ASSERT_TRUE(event_kind_from_string(to_string(kind), back))
         << to_string(kind);

@@ -253,6 +253,7 @@ TEST(Engine, RunsToTargetCompletions) {
   EXPECT_GE(result.completions[0].size(), 2u);
   EXPECT_GE(result.completions[1].size(), 2u);
   EXPECT_GT(result.steps, 0);
+  EXPECT_FALSE(result.timed_out);  // the goal was reached, not the clock
 }
 
 TEST(Engine, ConstantManagerCapSumEqualsBudget) {
@@ -293,6 +294,7 @@ TEST(Engine, MaxTimeStopsRunawayRuns) {
   const auto result = SimulationEngine(config).run(cluster, rapl, constant);
   EXPECT_LE(result.elapsed, 51.0);
   EXPECT_TRUE(result.completions[0].empty());
+  EXPECT_TRUE(result.timed_out);
 }
 
 TEST(Engine, RejectsUnitCountMismatch) {

@@ -69,6 +69,31 @@ TEST(Instance, DifferentDrawsDiffer) {
   EXPECT_NE(a.total_work(), b.total_work());
 }
 
+TEST(Instance, SameSeedYieldsBitIdenticalRealization) {
+  // Regression for per-instance seeding: realizations are a pure function
+  // of (spec, seed), independent of whatever else drew random numbers
+  // before them — the property end-to-end run determinism rests on.
+  const auto spec = spark_workload("Kmeans");
+  const WorkloadInstance a(spec, 424242u);
+  const WorkloadInstance b(spec, 424242u);
+  ASSERT_EQ(a.total_work(), b.total_work());
+  for (Seconds p = 0.0; p < a.total_work(); p += 1.3) {
+    ASSERT_EQ(a.demand_at(p), b.demand_at(p));
+  }
+  const WorkloadInstance c(spec, 424243u);
+  EXPECT_NE(a.total_work(), c.total_work());
+}
+
+TEST(Instance, MixSeedSeparatesCoordinates) {
+  // The cluster keys realizations on (group seed, run index, socket);
+  // mix_seed must not collide across neighbouring coordinates.
+  EXPECT_NE(mix_seed(1, 0, 0), mix_seed(1, 0, 1));
+  EXPECT_NE(mix_seed(1, 0, 0), mix_seed(1, 1, 0));
+  EXPECT_NE(mix_seed(1, 0, 0), mix_seed(2, 0, 0));
+  EXPECT_NE(mix_seed(1, 2, 3), mix_seed(1, 3, 2));
+  EXPECT_EQ(mix_seed(7, 8, 9), mix_seed(7, 8, 9));
+}
+
 TEST(Instance, IdleInstanceDrawsIdlePower) {
   const auto inst = WorkloadInstance::idle(100.0);
   EXPECT_FALSE(inst.active());

@@ -24,6 +24,7 @@
 #include "managers/constant.hpp"
 #include "managers/oracle.hpp"
 #include "managers/slurm_stateless.hpp"
+#include "sched/arrivals.hpp"
 #include "sim/engine.hpp"
 #include "util/csv.hpp"
 #include "util/table.hpp"
@@ -44,8 +45,19 @@ struct Options {
   int sockets = 10;
   std::optional<std::string> trace_path;
   std::string obs_metrics_path, obs_events_path, obs_trace_path;
+  // Job-schedule mode (src/sched/): active when --sched-policy or
+  // --job-trace is given.
+  std::optional<std::string> sched_policy;
+  std::string job_trace;
+  double arrival_rate = 5.0;
+  int jobs = 40;
+  int units = 20;
   bool list = false;
   bool help = false;
+
+  bool sched_mode() const {
+    return sched_policy.has_value() || !job_trace.empty();
+  }
 
   bool obs_enabled() const {
     return !obs_metrics_path.empty() || !obs_events_path.empty() ||
@@ -68,7 +80,14 @@ void print_usage() {
       "  --obs-metrics <p> write Prometheus metrics of an observed run\n"
       "  --obs-events <p>  write the structured event-log CSV\n"
       "  --obs-trace <p>   write Chrome trace_event JSON (chrome://tracing)\n"
-      "  --list            list the available workloads\n");
+      "  --list            list the available workloads\n"
+      "\nJob-schedule mode (open job stream instead of the static pair;\n"
+      "--a/--b become the Poisson workload mix):\n"
+      "  --sched-policy <p> fcfs | backfill | power\n"
+      "  --arrival-rate <r> expected jobs per 1000 s          [5]\n"
+      "  --jobs <n>         jobs in the generated stream      [40]\n"
+      "  --job-trace <path> replay arrivals from a CSV trace\n"
+      "  --units <n>        power-capping units in the machine [20]\n");
 }
 
 std::optional<Options> parse(int argc, char** argv) {
@@ -127,6 +146,26 @@ std::optional<Options> parse(int argc, char** argv) {
       const char* v = next();
       if (!v) return std::nullopt;
       options.obs_trace_path = v;
+    } else if (arg == "--sched-policy") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      options.sched_policy = v;
+    } else if (arg == "--arrival-rate") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      options.arrival_rate = std::atof(v);
+    } else if (arg == "--jobs") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      options.jobs = std::atoi(v);
+    } else if (arg == "--job-trace") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      options.job_trace = v;
+    } else if (arg == "--units") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      options.units = std::atoi(v);
     } else {
       std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
       return std::nullopt;
@@ -159,6 +198,77 @@ void list_workloads() {
   table.print();
 }
 
+/// Job-schedule mode: run an open job stream through the scheduling
+/// subsystem instead of the static pair assignment.
+void run_sched_mode(const Options& options) {
+  sched::JobScheduleConfig js;
+  if (options.sched_policy.has_value() &&
+      !sched::sched_policy_from_string(*options.sched_policy, js.policy)) {
+    throw std::invalid_argument("unknown --sched-policy: " +
+                                *options.sched_policy);
+  }
+  js.seed = options.seed;
+  js.arrival_rate_per_1000s = options.arrival_rate;
+  js.job_count = options.jobs;
+  js.workload_mix = {options.a, options.b};
+  js.resolve = [](const std::string& name) { return workload_by_name(name); };
+  if (!options.job_trace.empty()) {
+    js.trace = sched::load_job_trace(options.job_trace);
+  }
+
+  EngineConfig config;
+  config.total_budget = options.budget_per_socket * options.units;
+  obs::ObsConfig obs_config;
+  obs_config.enabled = options.obs_enabled();
+  obs_config.export_prometheus = options.obs_metrics_path;
+  obs_config.export_events_csv = options.obs_events_path;
+  obs_config.export_trace_json = options.obs_trace_path;
+  config.obs = obs::make_sink(obs_config);
+  config.job_schedule = js;
+
+  DpsManager dps;
+  SlurmStatelessManager slurm;
+  ConstantManager constant;
+  PowerManager* manager = &dps;
+  const auto kind = manager_kind(options.manager);
+  if (kind == ManagerKind::kSlurm) manager = &slurm;
+  if (kind == ManagerKind::kConstant) manager = &constant;
+  if (kind == ManagerKind::kOracle) {
+    throw std::invalid_argument(
+        "job-schedule mode supports constant | slurm | dps");
+  }
+
+  const auto result = run_jobs(*manager, config, options.units);
+  const auto& s = result.sched;
+  std::printf("job stream under %s / %s policy (%d units, %.0f W budget, "
+              "seed %llu)\n\n",
+              options.manager.c_str(),
+              sched::to_string(js.policy), options.units,
+              config.total_budget,
+              static_cast<unsigned long long>(options.seed));
+  Table table({"KPI", "value"});
+  table.add_row({"jobs submitted", std::to_string(s.submitted)});
+  table.add_row({"jobs completed", std::to_string(s.completed)});
+  table.add_row({"crash requeues", std::to_string(s.requeued)});
+  table.add_row({"jobs abandoned", std::to_string(s.abandoned)});
+  table.add_row({"jobs shrunk", std::to_string(s.shrunk)});
+  table.add_row({"throttle stalls", std::to_string(s.throttle_stalls)});
+  table.add_row({"mean wait [s]", format_double(s.mean_wait, 1)});
+  table.add_row({"max wait [s]", format_double(s.max_wait, 1)});
+  table.add_row({"mean bounded slowdown",
+                 format_double(s.mean_bounded_slowdown, 3)});
+  table.add_row({"mean utilization", format_double(s.mean_utilization, 3)});
+  table.add_row({"max queue depth", std::to_string(s.max_queue_depth)});
+  table.add_row({"elapsed [s]", format_double(result.elapsed, 0)});
+  table.add_row({"timed out", result.timed_out ? "yes" : "no"});
+  table.add_row({"peak cap sum [W]", format_double(result.peak_cap_sum, 1)});
+  table.print();
+  if (options.obs_enabled()) {
+    obs::export_all(config.obs, obs_config);
+    std::printf("(observability exports written)\n");
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -177,6 +287,10 @@ int main(int argc, char** argv) {
   }
 
   try {
+    if (options->sched_mode()) {
+      run_sched_mode(*options);
+      return 0;
+    }
     ExperimentParams params;
     params.repeats = options->repeats;
     params.seed = options->seed;
