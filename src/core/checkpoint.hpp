@@ -1,0 +1,60 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "managers/manager.hpp"
+
+namespace dps {
+
+/// A versioned snapshot of a running control session: the manager context,
+/// the current cap vector (plus the previous caps the wire-dedup logic
+/// compares against) and the manager's opaque internal state. This is what
+/// makes DPS's statefulness survive a controller crash — a restarted dpsd
+/// that restores a checkpoint resumes with its learned power histories and
+/// priorities instead of relearning them from scratch like the stateless
+/// baseline must.
+struct ControlCheckpoint {
+  /// Rounds completed when the snapshot was taken.
+  std::uint64_t round = 0;
+  /// The manager's name() at save time; restore refuses a snapshot taken
+  /// by a different manager rather than feeding it foreign state bytes.
+  std::string manager_name;
+  ManagerContext ctx;
+  std::vector<Watts> caps;
+  std::vector<Watts> previous_caps;
+  /// Opaque PowerManager::save_state payload.
+  std::vector<std::uint8_t> manager_state;
+};
+
+/// Captures a checkpoint from a live manager + cap vectors.
+ControlCheckpoint make_checkpoint(const PowerManager& manager,
+                                  const ManagerContext& ctx,
+                                  std::uint64_t round,
+                                  std::span<const Watts> caps,
+                                  std::span<const Watts> previous_caps);
+
+/// Restores `manager` from a checkpoint: validates the manager name,
+/// reset()s with the saved context and replays the saved state bytes.
+/// Throws std::runtime_error on a name mismatch or trailing garbage.
+void restore_manager(PowerManager& manager, const ControlCheckpoint& ckpt);
+
+/// Serializes to / parses from the on-disk payload (no framing).
+std::vector<std::uint8_t> encode_checkpoint(const ControlCheckpoint& ckpt);
+ControlCheckpoint decode_checkpoint(std::span<const std::uint8_t> payload);
+
+/// Atomically writes `ckpt` to `path` (tmp file + rename) with the framed
+/// format: 8-byte magic "DPSCKPT\0", u32 format version, u32 CRC-32 of the
+/// payload, u64 payload length, payload. Throws std::runtime_error on I/O
+/// failure.
+void write_checkpoint_file(const std::string& path,
+                           const ControlCheckpoint& ckpt);
+
+/// Reads and validates a checkpoint file; throws std::runtime_error with a
+/// specific message on a missing file, bad magic, unsupported version,
+/// truncation, or CRC mismatch.
+ControlCheckpoint read_checkpoint_file(const std::string& path);
+
+}  // namespace dps

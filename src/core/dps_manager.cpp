@@ -1,6 +1,8 @@
 #include "core/dps_manager.hpp"
 
 #include <algorithm>
+#include <stdexcept>
+#include <utility>
 
 namespace dps {
 
@@ -42,6 +44,34 @@ void DpsManager::set_obs(const obs::ObsSink& sink) {
       "dps_priority_update_seconds", "Priority module stage (Algorithm 2)");
   obs_readjust_seconds_ = sink.latency_histogram(
       "dps_readjust_seconds", "Restore / cap-readjust stage (Algs. 3-4)");
+}
+
+void DpsManager::save_state(ByteWriter& out) const {
+  stateless_.save_state(out);
+  history_.save(out);
+  priority_.save(out);
+  out.boolean(last_restored_);
+  out.ints(silent_streak_);
+  out.bools(evicted_);
+  out.bools(prev_priorities_);
+}
+
+void DpsManager::load_state(ByteReader& in) {
+  stateless_.load_state(in);
+  history_.load(in);
+  priority_.load(in);
+  last_restored_ = in.boolean();
+  auto silent_streak = in.ints();
+  auto evicted = in.bools();
+  auto prev_priorities = in.bools();
+  if (silent_streak.size() != silent_streak_.size() ||
+      evicted.size() != evicted_.size() ||
+      prev_priorities.size() != prev_priorities_.size()) {
+    throw std::runtime_error("DpsManager: snapshot unit count mismatch");
+  }
+  silent_streak_ = std::move(silent_streak);
+  evicted_ = std::move(evicted);
+  prev_priorities_ = std::move(prev_priorities);
 }
 
 void DpsManager::update_budget(Watts new_total_budget) {

@@ -38,6 +38,13 @@ class DpsManager final : public PowerManager {
   /// flips and restore rounds, and evict/readmit events.
   void set_obs(const obs::ObsSink& sink) override;
 
+  /// Serializes / restores the full stateful pipeline — the Kalman-filtered
+  /// histories, priority flags, the internal stateless module's windows and
+  /// RNG stream, and the eviction bookkeeping — so a restarted controller
+  /// resumes bit-identical decisions instead of relearning from scratch.
+  void save_state(ByteWriter& out) const override;
+  void load_state(ByteReader& in) override;
+
   const DpsConfig& config() const { return config_; }
   const EstimatedPowerHistory& history() const { return history_; }
   const PriorityModule& priorities() const { return priority_; }

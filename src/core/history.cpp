@@ -68,6 +68,26 @@ const RollingWindow& EstimatedPowerHistory::duration_history(int unit) const {
   return durations_.at(static_cast<std::size_t>(unit));
 }
 
+void EstimatedPowerHistory::save(ByteWriter& out) const {
+  out.u64(filters_.size());
+  out.boolean(first_observation_);
+  for (const auto& filter : filters_) filter.save(out);
+  for (const auto& window : power_) window.save(out);
+  for (const auto& window : durations_) window.save(out);
+}
+
+void EstimatedPowerHistory::load(ByteReader& in) {
+  const std::uint64_t units = in.u64();
+  if (units != filters_.size()) {
+    throw std::runtime_error(
+        "EstimatedPowerHistory: snapshot unit count mismatch");
+  }
+  first_observation_ = in.boolean();
+  for (auto& filter : filters_) filter.load(in);
+  for (auto& window : power_) window.load(in);
+  for (auto& window : durations_) window.load(in);
+}
+
 bool EstimatedPowerHistory::warmed_up() const {
   return !power_.empty() && power_.front().full();
 }

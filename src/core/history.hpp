@@ -44,6 +44,12 @@ class EstimatedPowerHistory {
   /// decisions", Section 6.5).
   bool warmed_up() const;
 
+  /// Checkpoint support: serializes / restores the filters and the
+  /// per-unit windows. load must follow a reset() with the same unit
+  /// count; throws std::runtime_error on a mismatching snapshot.
+  void save(ByteWriter& out) const;
+  void load(ByteReader& in);
+
  private:
   DpsConfig config_;
   std::vector<Kalman1D> filters_;

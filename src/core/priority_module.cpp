@@ -64,6 +64,26 @@ void PriorityModule::update(const EstimatedPowerHistory& history,
   }
 }
 
+void PriorityModule::save(ByteWriter& out) const {
+  out.bools(high_freq_);
+  out.bools(priority_);
+  out.ints(idle_streak_);
+}
+
+void PriorityModule::load(ByteReader& in) {
+  auto high_freq = in.bools();
+  auto priority = in.bools();
+  auto idle_streak = in.ints();
+  if (high_freq.size() != high_freq_.size() ||
+      priority.size() != priority_.size() ||
+      idle_streak.size() != idle_streak_.size()) {
+    throw std::runtime_error("PriorityModule: snapshot unit count mismatch");
+  }
+  high_freq_ = std::move(high_freq);
+  priority_ = std::move(priority);
+  idle_streak_ = std::move(idle_streak);
+}
+
 bool PriorityModule::high_priority(int unit) const {
   return priority_.at(static_cast<std::size_t>(unit));
 }

@@ -48,6 +48,12 @@ class PriorityModule {
   /// Units currently at high priority.
   int count_high() const;
 
+  /// Checkpoint support: serializes / restores the priority flags and
+  /// hysteresis streaks. load must follow a reset() with the same unit
+  /// count; throws std::runtime_error on a mismatching snapshot.
+  void save(ByteWriter& out) const;
+  void load(ByteReader& in);
+
  private:
   DpsConfig config_;
   std::vector<bool> high_freq_;

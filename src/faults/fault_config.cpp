@@ -22,6 +22,9 @@ FaultPlanConfig fault_plan_config_from_ini(const IniFile& ini) {
   apply_double(ini, "sensor_garbage_rate", config.sensor_garbage_rate);
   apply_double(ini, "cap_stuck_rate", config.cap_stuck_rate);
   apply_double(ini, "budget_sag_rate", config.budget_sag_rate);
+  apply_double(ini, "net_connect_refuse_rate", config.net_connect_refuse_rate);
+  apply_double(ini, "net_read_stall_rate", config.net_read_stall_rate);
+  apply_double(ini, "net_disconnect_rate", config.net_disconnect_rate);
   apply_double(ini, "min_duration", config.min_duration);
   apply_double(ini, "max_duration", config.max_duration);
   apply_double(ini, "sag_floor", config.sag_floor);
@@ -30,7 +33,9 @@ FaultPlanConfig fault_plan_config_from_ini(const IniFile& ini) {
       config.max_duration < config.min_duration || config.sag_floor <= 0.0 ||
       config.sag_floor > 1.0 || config.crash_rate < 0.0 ||
       config.sensor_dropout_rate < 0.0 || config.sensor_garbage_rate < 0.0 ||
-      config.cap_stuck_rate < 0.0 || config.budget_sag_rate < 0.0) {
+      config.cap_stuck_rate < 0.0 || config.budget_sag_rate < 0.0 ||
+      config.net_connect_refuse_rate < 0.0 ||
+      config.net_read_stall_rate < 0.0 || config.net_disconnect_rate < 0.0) {
     throw std::invalid_argument("[faults]: out-of-range value");
   }
   return config;
@@ -43,7 +48,10 @@ FaultPlanConfig fault_plan_config_from_file(const std::string& path) {
 bool any_fault_rate(const FaultPlanConfig& config) {
   return config.crash_rate > 0.0 || config.sensor_dropout_rate > 0.0 ||
          config.sensor_garbage_rate > 0.0 || config.cap_stuck_rate > 0.0 ||
-         config.budget_sag_rate > 0.0;
+         config.budget_sag_rate > 0.0 ||
+         config.net_connect_refuse_rate > 0.0 ||
+         config.net_read_stall_rate > 0.0 ||
+         config.net_disconnect_rate > 0.0;
 }
 
 }  // namespace dps

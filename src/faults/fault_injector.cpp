@@ -10,13 +10,16 @@ FaultInjector::FaultInjector(const FaultPlan& plan, int num_units)
       crash_(static_cast<std::size_t>(num_units), 0),
       dropout_(static_cast<std::size_t>(num_units), 0),
       garbage_(static_cast<std::size_t>(num_units), 0),
-      stuck_(static_cast<std::size_t>(num_units), 0) {
+      stuck_(static_cast<std::size_t>(num_units), 0),
+      stall_(static_cast<std::size_t>(num_units), 0),
+      disconnect_(static_cast<std::size_t>(num_units), 0) {
   if (num_units <= 0) {
     throw std::invalid_argument("FaultInjector: num_units must be > 0");
   }
   for (const auto& e : schedule_) {
-    if (e.kind != FaultKind::kBudgetSag &&
-        (e.unit < 0 || e.unit >= num_units)) {
+    const bool cluster_scoped = e.kind == FaultKind::kBudgetSag ||
+                                e.kind == FaultKind::kNetConnectRefuse;
+    if (!cluster_scoped && (e.unit < 0 || e.unit >= num_units)) {
       throw std::invalid_argument("FaultInjector: plan unit out of range");
     }
   }
@@ -44,6 +47,15 @@ void FaultInjector::apply(const FaultEvent& e, int delta) {
             std::find(sag_factors_.begin(), sag_factors_.end(), e.magnitude);
         if (it != sag_factors_.end()) sag_factors_.erase(it);
       }
+      break;
+    case FaultKind::kNetConnectRefuse:
+      refuse_count_ += delta;
+      break;
+    case FaultKind::kNetReadStall:
+      stall_[static_cast<std::size_t>(e.unit)] += delta;
+      break;
+    case FaultKind::kNetDisconnect:
+      disconnect_[static_cast<std::size_t>(e.unit)] += delta;
       break;
   }
   active_count_ += delta;

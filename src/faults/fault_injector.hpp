@@ -27,6 +27,14 @@ class FaultInjector {
   bool sensor_garbage(int unit) const { return garbage_[unit] > 0; }
   bool cap_stuck(int unit) const { return stuck_[unit] > 0; }
 
+  /// Control-plane fault queries (kNet*); live-stack drivers map these
+  /// onto real socket behaviour (src/faults/net_faults.hpp), while the
+  /// simulated engine treats a stalled/disconnected client's unit like a
+  /// crash from the manager's viewpoint (it reports 0 W).
+  bool net_stalled(int unit) const { return stall_[unit] > 0; }
+  bool net_disconnected(int unit) const { return disconnect_[unit] > 0; }
+  bool connect_refused() const { return refuse_count_ > 0; }
+
   /// Product of nothing: the *strongest* (minimum) scale factor among
   /// active budget sags, 1.0 when none is active.
   double budget_factor() const;
@@ -58,8 +66,9 @@ class FaultInjector {
   std::vector<FaultEvent> schedule_;  // time-sorted, from the plan
   std::size_t next_ = 0;
   std::vector<ActiveEvent> active_;
-  std::vector<int> crash_, dropout_, garbage_, stuck_;
+  std::vector<int> crash_, dropout_, garbage_, stuck_, stall_, disconnect_;
   std::vector<double> sag_factors_;  // magnitudes of active sags
+  int refuse_count_ = 0;
   int active_count_ = 0;
   int activated_total_ = 0;
   std::vector<FaultEvent> activated_, cleared_;

@@ -15,6 +15,9 @@ const char* to_string(FaultKind kind) {
     case FaultKind::kSensorGarbage: return "sensor_garbage";
     case FaultKind::kCapStuck: return "cap_stuck";
     case FaultKind::kBudgetSag: return "budget_sag";
+    case FaultKind::kNetConnectRefuse: return "net_connect_refuse";
+    case FaultKind::kNetReadStall: return "net_read_stall";
+    case FaultKind::kNetDisconnect: return "net_disconnect";
   }
   return "unknown";
 }
@@ -43,6 +46,8 @@ void validate(const std::vector<FaultEvent>& events, int num_units) {
         throw std::invalid_argument(
             "FaultPlan: budget sag magnitude must be in (0, 1]");
       }
+    } else if (e.kind == FaultKind::kNetConnectRefuse) {
+      // Cluster-scoped like a budget sag: the whole controller refuses.
     } else {
       if (e.unit < 0 || e.unit >= num_units) {
         throw std::invalid_argument("FaultPlan: unit out of range");
@@ -79,6 +84,9 @@ FaultPlan FaultPlan::generate(const FaultPlanConfig& config, int num_units) {
       {FaultKind::kSensorGarbage, config.sensor_garbage_rate},
       {FaultKind::kCapStuck, config.cap_stuck_rate},
       {FaultKind::kBudgetSag, config.budget_sag_rate},
+      {FaultKind::kNetConnectRefuse, config.net_connect_refuse_rate},
+      {FaultKind::kNetReadStall, config.net_read_stall_rate},
+      {FaultKind::kNetDisconnect, config.net_disconnect_rate},
   };
 
   Rng rng(config.seed);
@@ -103,6 +111,8 @@ FaultPlan FaultPlan::generate(const FaultPlanConfig& config, int num_units) {
       if (kind == FaultKind::kBudgetSag) {
         e.unit = -1;
         e.magnitude = stream.uniform(config.sag_floor, 1.0);
+      } else if (kind == FaultKind::kNetConnectRefuse) {
+        e.unit = -1;
       } else {
         e.unit = static_cast<int>(
             stream.uniform_int(static_cast<std::uint64_t>(num_units)));

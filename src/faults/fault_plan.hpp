@@ -28,6 +28,17 @@ enum class FaultKind {
   /// Transient facility budget sag: the cluster-wide budget is scaled by
   /// `magnitude` (e.g. 0.7) while the fault is active.
   kBudgetSag,
+  /// Control-plane fault: the controller refuses new connections while
+  /// active (a dead/partitioned head node from the clients' view). Not
+  /// unit-scoped (use -1).
+  kNetConnectRefuse,
+  /// Control-plane fault: the unit's client stalls mid-session — its
+  /// socket stays open but no report is sent while the fault is active
+  /// (a wedged node agent). Exercises the server's round deadline.
+  kNetReadStall,
+  /// Control-plane fault: the unit's client drops its TCP connection,
+  /// then reconnects (restarted node agent) once the fault clears.
+  kNetDisconnect,
 };
 
 const char* to_string(FaultKind kind);
@@ -62,6 +73,9 @@ struct FaultPlanConfig {
   double sensor_garbage_rate = 0.0;
   double cap_stuck_rate = 0.0;
   double budget_sag_rate = 0.0;
+  double net_connect_refuse_rate = 0.0;
+  double net_read_stall_rate = 0.0;
+  double net_disconnect_rate = 0.0;
   /// Fault durations are uniform in [min_duration, max_duration].
   Seconds min_duration = 30.0;
   Seconds max_duration = 180.0;

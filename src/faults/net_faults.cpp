@@ -1,0 +1,61 @@
+#include "faults/net_faults.hpp"
+
+#include <stdexcept>
+
+namespace dps {
+
+namespace {
+
+bool is_net_kind(FaultKind kind) {
+  return kind == FaultKind::kNetConnectRefuse ||
+         kind == FaultKind::kNetReadStall ||
+         kind == FaultKind::kNetDisconnect;
+}
+
+}  // namespace
+
+NetFaultScript::NetFaultScript(const FaultPlan& plan, int num_units,
+                               Seconds round_period)
+    : num_units_(num_units), round_period_(round_period) {
+  if (num_units <= 0) {
+    throw std::invalid_argument("NetFaultScript: num_units must be > 0");
+  }
+  if (round_period <= 0.0) {
+    throw std::invalid_argument("NetFaultScript: round_period must be > 0");
+  }
+  for (const FaultEvent& e : plan.events()) {
+    if (!is_net_kind(e.kind)) continue;
+    if (e.kind != FaultKind::kNetConnectRefuse &&
+        (e.unit < 0 || e.unit >= num_units)) {
+      throw std::invalid_argument("NetFaultScript: plan unit out of range");
+    }
+    events_.push_back(e);
+    has_net_faults_ = true;
+  }
+}
+
+bool NetFaultScript::active(FaultKind kind, int unit,
+                            std::uint64_t round) const {
+  const Seconds t = static_cast<Seconds>(round) * round_period_;
+  for (const FaultEvent& e : events_) {
+    if (e.kind != kind) continue;
+    if (kind != FaultKind::kNetConnectRefuse && e.unit != unit) continue;
+    if (e.at > t) continue;
+    if (e.duration <= 0.0 || t < e.at + e.duration) return true;
+  }
+  return false;
+}
+
+bool NetFaultScript::stalled(int unit, std::uint64_t round) const {
+  return active(FaultKind::kNetReadStall, unit, round);
+}
+
+bool NetFaultScript::disconnected(int unit, std::uint64_t round) const {
+  return active(FaultKind::kNetDisconnect, unit, round);
+}
+
+bool NetFaultScript::connect_refused(std::uint64_t round) const {
+  return active(FaultKind::kNetConnectRefuse, -1, round);
+}
+
+}  // namespace dps

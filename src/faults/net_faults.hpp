@@ -1,0 +1,48 @@
+#pragma once
+
+#include <cstdint>
+
+#include "faults/fault_plan.hpp"
+
+namespace dps {
+
+/// Round-indexed view of the control-plane faults (kNet*) in a FaultPlan,
+/// for driving the *live* TCP stack: a test or a node agent maps simulated
+/// fault time onto decision rounds (round r covers time r·round_period)
+/// and asks, per round, whether its client should stall, drop the
+/// connection, or find the controller refusing connects. Purely
+/// deterministic — the same plan and period always script the same
+/// behaviour, which is what makes kill/restart experiments repeatable and
+/// lets the checkpoint-restore E2E test replay one fault schedule against
+/// several controller configurations.
+class NetFaultScript {
+ public:
+  NetFaultScript(const FaultPlan& plan, int num_units, Seconds round_period);
+
+  /// kNetReadStall active for `unit` during `round`: the client should
+  /// hold its report past the server's deadline.
+  bool stalled(int unit, std::uint64_t round) const;
+
+  /// kNetDisconnect active for `unit` during `round`: the client should
+  /// have its connection down (and reconnect once this turns false).
+  bool disconnected(int unit, std::uint64_t round) const;
+
+  /// kNetConnectRefuse active during `round`: the controller is
+  /// unreachable for new connections.
+  bool connect_refused(std::uint64_t round) const;
+
+  /// Whether the plan scripts any control-plane fault at all.
+  bool any_net_faults() const { return has_net_faults_; }
+
+  Seconds round_period() const { return round_period_; }
+
+ private:
+  bool active(FaultKind kind, int unit, std::uint64_t round) const;
+
+  std::vector<FaultEvent> events_;
+  int num_units_ = 0;
+  Seconds round_period_ = 1.0;
+  bool has_net_faults_ = false;
+};
+
+}  // namespace dps

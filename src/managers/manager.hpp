@@ -6,6 +6,7 @@
 
 #include "obs/sink.hpp"
 #include "power/power_interface.hpp"
+#include "util/bytes.hpp"
 
 namespace dps {
 
@@ -73,6 +74,16 @@ class PowerManager {
   /// default ignores it, and a default-constructed (disabled) sink makes
   /// every instrumentation call a null-check no-op.
   virtual void set_obs(const obs::ObsSink& /*sink*/) {}
+
+  /// Checkpoint support (src/core/checkpoint.hpp). save_state serializes
+  /// every decision-relevant internal so a freshly reset() manager that
+  /// load_state()s the bytes continues bit-identically; load_state must be
+  /// called after reset() with the same unit count and may throw
+  /// std::runtime_error on a mismatching snapshot. The defaults write and
+  /// read nothing — a manager whose decisions depend only on the current
+  /// measurements (the constant baseline) restarts cold by construction.
+  virtual void save_state(ByteWriter& /*out*/) const {}
+  virtual void load_state(ByteReader& /*in*/) {}
 };
 
 /// Shared emergency-shedding helper: when the sum of caps exceeds the

@@ -43,6 +43,29 @@ void MimdController::reset(const ManagerContext& ctx) {
   steps_since_decision_ = 0;
 }
 
+void MimdController::save_state(ByteWriter& out) const {
+  rng_.save(out);
+  out.bools(set_flags_);
+  out.doubles(averaged_power_);
+  out.i64(steps_since_decision_);
+  out.u64(power_windows_.size());
+  for (const auto& window : power_windows_) window.save(out);
+}
+
+void MimdController::load_state(ByteReader& in) {
+  rng_.load(in);
+  set_flags_ = in.bools();
+  averaged_power_ = in.doubles();
+  steps_since_decision_ = static_cast<int>(in.i64());
+  const std::uint64_t windows = in.u64();
+  if (windows != power_windows_.size() ||
+      set_flags_.size() != power_windows_.size() ||
+      averaged_power_.size() != power_windows_.size()) {
+    throw std::runtime_error("MimdController: snapshot unit count mismatch");
+  }
+  for (auto& window : power_windows_) window.load(in);
+}
+
 void MimdController::decide(std::span<const Watts> power,
                             std::span<Watts> caps) {
   const std::size_t n = caps.size();

@@ -83,6 +83,13 @@ class MimdController {
   /// Flags of units whose caps the last decide() changed.
   const std::vector<bool>& set_flags() const { return set_flags_; }
 
+  /// Checkpoint support: serializes / restores all decision-relevant state
+  /// (RNG stream, averaging windows, cadence phase) so a restored
+  /// controller continues bit-identically. load_state must be called after
+  /// reset() with the same num_units the state was saved with.
+  void save_state(ByteWriter& out) const;
+  void load_state(ByteReader& in);
+
   const MimdConfig& config() const { return config_; }
 
  private:

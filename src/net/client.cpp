@@ -1,78 +1,164 @@
 #include "net/client.hpp"
 
 #include <arpa/inet.h>
+#include <netdb.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <chrono>
 #include <cstring>
 #include <stdexcept>
 #include <string>
+#include <thread>
+
+#include "net/wire.hpp"
 
 namespace dps {
 namespace {
 
-[[noreturn]] void throw_errno(const std::string& what) {
-  throw std::runtime_error(what + ": " + std::strerror(errno));
+/// splitmix64 step — enough randomness for backoff jitter without
+/// dragging a full RNG into the client.
+double next_jitter(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  z ^= z >> 31;
+  return static_cast<double>(z >> 11) * 0x1.0p-53;
 }
 
 }  // namespace
 
-NodeClient::NodeClient(PowerSource power_source, CapSink cap_sink)
-    : power_source_(std::move(power_source)), cap_sink_(std::move(cap_sink)) {
+NodeClient::NodeClient(PowerSource power_source, CapSink cap_sink,
+                       const NodeClientConfig& config)
+    : power_source_(std::move(power_source)),
+      cap_sink_(std::move(cap_sink)),
+      config_(config),
+      jitter_state_(config.jitter_seed) {
   if (!power_source_ || !cap_sink_) {
     throw std::invalid_argument("NodeClient: callbacks required");
   }
+  if (config_.connect_attempts < 1) {
+    throw std::invalid_argument("NodeClient: connect_attempts must be >= 1");
+  }
+  if (config_.backoff_base_s <= 0.0 ||
+      config_.backoff_max_s < config_.backoff_base_s) {
+    throw std::invalid_argument("NodeClient: bad backoff range");
+  }
 }
 
-NodeClient::~NodeClient() {
-  if (fd_ >= 0) ::close(fd_);
+NodeClient::~NodeClient() { close_fd(); }
+
+void NodeClient::close_fd() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void NodeClient::set_obs(const obs::ObsSink& sink) {
+  obs_ = sink;
+  obs_reconnects_ = sink.counter(
+      "client_reconnects_total",
+      "Successful reconnections after a lost server connection");
+  obs_failsafes_ = sink.counter(
+      "client_failsafe_activations_total",
+      "Times the failsafe cap was self-applied on server loss");
 }
 
 void NodeClient::connect(std::uint16_t port, const std::string& host) {
-  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd_ < 0) throw_errno("socket");
-  const int one = 1;
-  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  ignore_sigpipe();
 
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
-    ::close(fd_);
-    fd_ = -1;
-    throw std::runtime_error("NodeClient: bad IPv4 address: " + host);
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  std::string last_error = "no attempt made";
+
+  for (int attempt = 1; attempt <= config_.connect_attempts; ++attempt) {
+    if (attempt > 1) {
+      // Exponential backoff with multiplicative jitter: half deterministic
+      // half random, so restarted nodes spread out instead of stampeding.
+      const double uncapped =
+          config_.backoff_base_s *
+          static_cast<double>(1ULL << std::min(attempt - 2, 30));
+      const double capped = std::min(config_.backoff_max_s, uncapped);
+      const double delay = capped * (0.5 + 0.5 * next_jitter(jitter_state_));
+      std::this_thread::sleep_for(std::chrono::duration<double>(delay));
+    }
+
+    // Hostname or dotted-quad — getaddrinfo handles both. Resolved every
+    // attempt: on a reconnect, DNS may point at a failed-over controller.
+    addrinfo* results = nullptr;
+    const int rc =
+        ::getaddrinfo(host.c_str(), std::to_string(port).c_str(), &hints,
+                      &results);
+    if (rc != 0) {
+      last_error = std::string("cannot resolve '") + host +
+                   "': " + ::gai_strerror(rc);
+      continue;
+    }
+
+    int fd = -1;
+    for (addrinfo* ai = results; ai != nullptr; ai = ai->ai_next) {
+      fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+      if (fd < 0) {
+        last_error = std::string("socket: ") + std::strerror(errno);
+        continue;
+      }
+      if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) break;
+      last_error = std::string("connect: ") + std::strerror(errno);
+      ::close(fd);
+      fd = -1;
+    }
+    ::freeaddrinfo(results);
+    if (fd < 0) continue;
+
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+    // Hello handshake: request our old slot back on a reconnect, any free
+    // slot on a first connection.
+    const std::uint8_t wanted = unit_id_ >= 0
+                                    ? static_cast<std::uint8_t>(unit_id_)
+                                    : kHelloAnyUnit;
+    const auto hello = encode_hello(Hello{kProtocolVersion, wanted});
+    WireBytes ack;
+    if (!write_all(fd, hello.data(), hello.size()) ||
+        !read_exact(fd, ack.data(), ack.size())) {
+      // The server refused us (slot occupied, version mismatch) or died
+      // mid-handshake; both are retryable.
+      last_error = "server closed the connection during the hello handshake";
+      ::close(fd);
+      continue;
+    }
+    const auto reply = decode_hello(ack);
+    if (!reply || reply->version != kProtocolVersion) {
+      ::close(fd);
+      throw std::runtime_error("NodeClient: bad hello ack from server");
+    }
+    unit_id_ = reply->unit;
+    fd_ = fd;
+    return;
   }
-  addr.sin_port = htons(port);
-  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
-    throw_errno("connect");
-  }
+  throw std::runtime_error(
+      "NodeClient: connect to " + host + ":" + std::to_string(port) +
+      " failed after " + std::to_string(config_.connect_attempts) +
+      " attempt(s): " + last_error);
 }
 
-bool NodeClient::run_round() {
+NodeClient::RoundOutcome NodeClient::run_round_ex() {
   const auto report =
       encode(Message{MessageType::kPowerReport, power_source_()});
-  std::size_t sent = 0;
-  while (sent < report.size()) {
-    const ssize_t n =
-        ::send(fd_, report.data() + sent, report.size() - sent, MSG_NOSIGNAL);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      throw_errno("send");
-    }
-    sent += static_cast<std::size_t>(n);
+  if (!write_all(fd_, report.data(), report.size())) {
+    return RoundOutcome::kLost;
   }
 
   WireBytes bytes;
-  std::size_t got = 0;
-  while (got < bytes.size()) {
-    const ssize_t n = ::recv(fd_, bytes.data() + got, bytes.size() - got, 0);
-    if (n == 0) return false;
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      throw_errno("recv");
-    }
-    got += static_cast<std::size_t>(n);
+  if (!read_exact(fd_, bytes.data(), bytes.size())) {
+    return RoundOutcome::kLost;
   }
 
   const auto message = decode(bytes);
@@ -80,21 +166,59 @@ bool NodeClient::run_round() {
   switch (message->type) {
     case MessageType::kSetCap:
       cap_sink_(message->value);
-      return true;
+      return RoundOutcome::kContinue;
     case MessageType::kKeepCap:
-      return true;
+      return RoundOutcome::kContinue;
     case MessageType::kShutdown:
-      return false;
+      return RoundOutcome::kShutdown;
     case MessageType::kPowerReport:
-      throw std::runtime_error("server sent a power report");
+    case MessageType::kHello:
+      throw std::runtime_error("unexpected message type from server");
   }
-  return false;
+  return RoundOutcome::kShutdown;
+}
+
+bool NodeClient::run_round() {
+  return run_round_ex() == RoundOutcome::kContinue;
 }
 
 int NodeClient::run() {
   int rounds = 0;
   while (run_round()) ++rounds;
   return rounds;
+}
+
+void NodeClient::apply_failsafe() {
+  if (config_.failsafe_cap_w <= 0.0) return;
+  cap_sink_(config_.failsafe_cap_w);
+  if (obs_failsafes_ != nullptr) obs_failsafes_->add();
+  obs_.event(obs::EventKind::kFailsafeCap, unit_id_, config_.failsafe_cap_w);
+}
+
+int NodeClient::run_resilient(std::uint16_t port, const std::string& host) {
+  if (fd_ < 0) connect(port, host);
+  int rounds = 0;
+  while (true) {
+    const RoundOutcome outcome = run_round_ex();
+    if (outcome == RoundOutcome::kContinue) {
+      ++rounds;
+      continue;
+    }
+    close_fd();
+    if (outcome == RoundOutcome::kShutdown) return rounds;
+
+    // Server lost mid-session: fall back to a cap that is safe without
+    // coordination, then try to get back in — reclaiming our unit id so
+    // the controller splices us into the same slot.
+    apply_failsafe();
+    try {
+      connect(port, host);
+    } catch (const std::runtime_error&) {
+      // Reconnect exhausted its attempts; stay parked at the failsafe.
+      return rounds;
+    }
+    if (obs_reconnects_ != nullptr) obs_reconnects_->add();
+  }
 }
 
 }  // namespace dps

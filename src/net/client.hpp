@@ -4,9 +4,42 @@
 #include <functional>
 #include <string>
 
+#include "net/net_config.hpp"
 #include "net/protocol.hpp"
+#include "obs/sink.hpp"
 
 namespace dps {
+
+/// Connection-resilience knobs for a NodeClient, typically derived from
+/// the shared [net] INI section (NetConfig).
+struct NodeClientConfig {
+  /// Connection attempts per connect()/reconnect cycle. Retries back off
+  /// exponentially from `backoff_base_s`, doubling per attempt and capped
+  /// at `backoff_max_s`, with multiplicative jitter so a cluster of
+  /// restarted nodes does not stampede the controller in lockstep.
+  int connect_attempts = 10;
+  double backoff_base_s = 0.05;
+  double backoff_max_s = 2.0;
+  /// Seed of the jitter stream; give each node a distinct seed.
+  std::uint64_t jitter_seed = 1;
+  /// Cap self-applied when the server is lost (before reconnecting) and
+  /// when reconnection fails for good. Must be safe without coordination —
+  /// at or below the unit's fair share of the budget. 0 disables the
+  /// failsafe (the unit keeps its last commanded cap).
+  Watts failsafe_cap_w = 0.0;
+
+  /// Derives the client-side knobs from the shared [net] config.
+  static NodeClientConfig from_net(const NetConfig& net,
+                                   std::uint64_t jitter_seed) {
+    NodeClientConfig config;
+    config.connect_attempts = net.reconnect_max_attempts;
+    config.backoff_base_s = net.reconnect_base_backoff_s;
+    config.backoff_max_s = net.reconnect_max_backoff_s;
+    config.jitter_seed = jitter_seed;
+    config.failsafe_cap_w = net.failsafe_cap_w;
+    return config;
+  }
+};
 
 /// Per-node client of the control plane: connects to the central server,
 /// then loops — report measured power (3 bytes), receive the new cap
@@ -19,27 +52,61 @@ class NodeClient {
   /// Applies a freshly received power cap.
   using CapSink = std::function<void(Watts)>;
 
-  NodeClient(PowerSource power_source, CapSink cap_sink);
+  NodeClient(PowerSource power_source, CapSink cap_sink,
+             const NodeClientConfig& config = {});
   ~NodeClient();
 
   NodeClient(const NodeClient&) = delete;
   NodeClient& operator=(const NodeClient&) = delete;
 
-  /// Connects to `host`:`port` (IPv4 dotted-quad; default loopback).
-  /// Throws std::runtime_error on failure.
+  /// Connects to `host`:`port`. The host may be a dotted-quad IPv4
+  /// address or a hostname ("localhost", a cluster head-node name) —
+  /// resolution goes through getaddrinfo. Failed attempts retry with the
+  /// configured exponential backoff; the final error message reports how
+  /// many attempts were made. Performs the hello handshake: a first
+  /// connection requests any slot, a reconnect reclaims the unit id held
+  /// before. Throws std::runtime_error when every attempt failed.
   void connect(std::uint16_t port, const std::string& host = "127.0.0.1");
 
   /// Runs the report/receive loop until the server sends shutdown or the
   /// connection closes. Returns the number of completed rounds.
   int run();
 
-  /// Runs exactly one round; returns false if the server shut us down.
+  /// Runs exactly one round; returns false if the server shut us down or
+  /// the connection was lost.
   bool run_round();
 
+  /// Resilient loop: on connection loss (anything but an orderly
+  /// kShutdown) the failsafe cap is applied (if configured) and the
+  /// client reconnects — reclaiming its unit id — with the configured
+  /// backoff, resuming the report loop. Returns the total number of
+  /// completed rounds once the server orderly shuts the client down, or
+  /// once a reconnect cycle exhausts its attempts.
+  int run_resilient(std::uint16_t port,
+                    const std::string& host = "127.0.0.1");
+
+  /// Unit id assigned by the server's hello ack; -1 before connect().
+  int unit_id() const { return unit_id_; }
+
+  /// Attaches an observability sink: reconnect / failsafe counters and
+  /// kFailsafeCap events.
+  void set_obs(const obs::ObsSink& sink);
+
  private:
+  enum class RoundOutcome { kContinue, kShutdown, kLost };
+  RoundOutcome run_round_ex();
+  void close_fd();
+  void apply_failsafe();
+
   PowerSource power_source_;
   CapSink cap_sink_;
+  NodeClientConfig config_;
   int fd_ = -1;
+  int unit_id_ = -1;
+  std::uint64_t jitter_state_;
+  obs::ObsSink obs_;
+  obs::Counter* obs_reconnects_ = nullptr;
+  obs::Counter* obs_failsafes_ = nullptr;
 };
 
 }  // namespace dps

@@ -22,12 +22,26 @@ std::optional<Message> decode(const WireBytes& bytes) {
     case MessageType::kKeepCap:
     case MessageType::kShutdown:
       break;
+    case MessageType::kHello:
+      return Message{type, 0.0};
     default:
       return std::nullopt;
   }
   const std::uint16_t deciwatts =
       static_cast<std::uint16_t>((bytes[1] << 8) | bytes[2]);
   return Message{type, static_cast<Watts>(deciwatts) / 10.0};
+}
+
+WireBytes encode_hello(const Hello& hello) {
+  return WireBytes{static_cast<std::uint8_t>(MessageType::kHello),
+                   hello.version, hello.unit};
+}
+
+std::optional<Hello> decode_hello(const WireBytes& bytes) {
+  if (static_cast<MessageType>(bytes[0]) != MessageType::kHello) {
+    return std::nullopt;
+  }
+  return Hello{bytes[1], bytes[2]};
 }
 
 }  // namespace dps

@@ -23,7 +23,20 @@ enum class MessageType : std::uint8_t {
   kKeepCap = 0x03,
   /// Either direction: orderly shutdown of the session.
   kShutdown = 0x04,
+  /// Session handshake, still 3 bytes: byte 1 carries the protocol
+  /// version, byte 2 a unit id. Client -> server on connect (unit =
+  /// kHelloAnyUnit for a fresh client, or the id it previously held to
+  /// reclaim that slot after a restart); server -> client as the ack
+  /// carrying the assigned id.
+  kHello = 0x05,
 };
+
+/// Version tag in a kHello message; bump on incompatible wire changes.
+inline constexpr std::uint8_t kProtocolVersion = 1;
+
+/// Hello unit id meaning "assign me any free slot" (a first connection,
+/// as opposed to a reconnect reclaiming a specific unit).
+inline constexpr std::uint8_t kHelloAnyUnit = 0xff;
 
 inline constexpr std::size_t kMessageSize = 3;
 
@@ -37,8 +50,21 @@ using WireBytes = std::array<std::uint8_t, kMessageSize>;
 /// Encodes a message; the value saturates at the codec's deciwatt range.
 WireBytes encode(const Message& message);
 
-/// Decodes 3 bytes; returns nullopt for an unknown type tag.
+/// Decodes 3 bytes; returns nullopt for an unknown type tag. A kHello
+/// frame decodes with value 0 — its payload bytes are not deciwatts; use
+/// decode_hello for them.
 std::optional<Message> decode(const WireBytes& bytes);
+
+/// The handshake payload of a kHello frame.
+struct Hello {
+  std::uint8_t version;
+  std::uint8_t unit;  // kHelloAnyUnit or a concrete unit id
+};
+
+WireBytes encode_hello(const Hello& hello);
+
+/// Returns nullopt unless the frame is a kHello.
+std::optional<Hello> decode_hello(const WireBytes& bytes);
 
 /// Quantization applied by the codec (for tests: |decoded - original| is
 /// at most half of this).

@@ -1,11 +1,12 @@
 #pragma once
 
-#include <atomic>
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "managers/manager.hpp"
+#include "net/net_config.hpp"
 #include "net/protocol.hpp"
 #include "obs/sink.hpp"
 
@@ -18,12 +19,30 @@ namespace dps {
 /// 3-byte cap message. This is the deployment shape of both DPS and SLURM's
 /// plugin (server on a central node, clients on computing nodes), and it is
 /// what the Section 6.5 overhead bench drives over loopback.
+///
+/// Hardening (all driven by NetConfig):
+///
+///  * Round deadline — the collect phase is poll()-driven: a unit whose
+///    report has not arrived within round_deadline_s is scored 0 W for the
+///    round (dark, exactly what a stateful manager's unresponsive-unit
+///    eviction keys on) and receives no reply until a report of its does
+///    arrive; the cluster's round rate is bounded by the deadline instead
+///    of the slowest straggler. The connection is kept — a late report is
+///    consumed by a later round, preserving the client's strict
+///    report/reply lockstep.
+///  * Readmission — the listen socket stays open for the whole session; a
+///    restarted client reconnects with a hello frame naming its old unit
+///    id and is spliced back into its slot mid-session (it receives a
+///    kSetCap on its next report, so its cap is re-synchronized).
+///  * Checkpoint/restore — resume_session() rebuilds a session around a
+///    manager restored from a snapshot (src/core/checkpoint.hpp) instead
+///    of resetting it, so DPS's learned state survives a controller crash.
 class ControlServer {
  public:
   /// Binds and listens on `port` (0 picks a free port). By default only
   /// loopback is bound; pass bind_any for a real multi-machine deployment.
-  ControlServer(std::uint16_t port, int expected_units,
-                bool bind_any = false);
+  ControlServer(std::uint16_t port, int expected_units, bool bind_any = false,
+                const NetConfig& net = {});
   ~ControlServer();
 
   ControlServer(const ControlServer&) = delete;
@@ -32,8 +51,10 @@ class ControlServer {
   /// Port actually bound (useful with port 0).
   std::uint16_t port() const { return port_; }
 
-  /// Blocks until all expected units have connected. Unit ids are assigned
-  /// in connection order.
+  /// Blocks until all expected units have connected and completed the
+  /// hello handshake. A fresh client (hello unit = kHelloAnyUnit) gets the
+  /// next free id in connection order; a reconnecting client naming a
+  /// valid id gets that slot.
   void accept_all();
 
   /// Runs `rounds` decision rounds with `manager`, starting from the
@@ -57,6 +78,15 @@ class ControlServer {
   /// session keeps serving the surviving clients; run_round throws only
   /// when every client is gone.
   void begin_session(PowerManager& manager, const ManagerContext& ctx);
+
+  /// begin_session for a manager already restored from a checkpoint: the
+  /// manager is NOT reset — the caller restored its state — and the cap
+  /// vectors pick up where the snapshot left off, so the wire-dedup logic
+  /// does not spuriously re-send unchanged caps. `round` seeds rounds().
+  void resume_session(PowerManager& manager, const ManagerContext& ctx,
+                      std::uint64_t round, std::span<const Watts> caps,
+                      std::span<const Watts> previous_caps);
+
   std::uint64_t run_round(PowerManager& manager);
 
   /// Clients still connected.
@@ -67,6 +97,12 @@ class ControlServer {
 
   /// Caps decided in the most recent round (for inspection by tests).
   const std::vector<Watts>& last_caps() const { return caps_; }
+  /// Last caps actually sent per unit (the wire-dedup baseline); -1 until
+  /// a unit has received its first kSetCap. Checkpointed alongside caps.
+  const std::vector<Watts>& previous_caps() const { return previous_caps_; }
+  /// Rounds completed in the current session (resumes from a checkpoint's
+  /// round count after resume_session).
+  std::uint64_t rounds() const { return rounds_; }
 
   /// Session message counters: rounds where a unit's cap changed send a
   /// kSetCap (the client performs a RAPL write); unchanged caps send
@@ -75,22 +111,44 @@ class ControlServer {
   std::uint64_t set_cap_messages() const { return set_cap_messages_; }
   std::uint64_t keep_cap_messages() const { return keep_cap_messages_; }
 
-  /// Attaches an observability sink: client connect/disconnect and
-  /// decision / cap-write events plus a decide-latency histogram, the same
-  /// stream shape the simulated engine produces. Call before accept_all so
-  /// connects are captured; also forwarded to the manager by
-  /// begin_session. Events get wall time (the sink's clock is not driven).
+  /// Attaches an observability sink: client connect/disconnect/timeout/
+  /// readmit and decision / cap-write events plus a decide-latency
+  /// histogram, the same stream shape the simulated engine produces. Call
+  /// before accept_all so connects are captured; also forwarded to the
+  /// manager by begin_session. Events get wall time (the sink's clock is
+  /// not driven).
   void set_obs(const obs::ObsSink& sink);
 
  private:
+  /// Per-connection receive state. The collect phase reads are
+  /// non-blocking, so a report can arrive in pieces across poll() wakeups
+  /// (or across rounds, for a straggler).
+  struct Slot {
+    int fd = -1;
+    bool dead = true;
+    WireBytes rx{};
+    std::size_t rx_len = 0;
+    bool has_report = false;
+  };
+
+  /// Accepts one pending connection and performs the hello handshake;
+  /// used both at startup (blocking accept loop) and mid-session
+  /// (readmission). Returns the unit admitted, or -1.
+  int admit_one(double hello_timeout_s);
+  void mark_dead(std::size_t u);
+  /// Drains whatever is readable on slot `u` without blocking; updates
+  /// has_report / power_ and marks the slot dead on close.
+  void drain_slot(std::size_t u);
+
   int listen_fd_ = -1;
   std::uint16_t port_ = 0;
   int expected_units_ = 0;
-  std::vector<int> client_fds_;
-  std::vector<bool> client_dead_;
+  NetConfig net_;
+  std::vector<Slot> slots_;
   std::vector<Watts> caps_;
   std::vector<Watts> previous_caps_;
   std::vector<Watts> power_;
+  std::uint64_t rounds_ = 0;
   std::uint64_t set_cap_messages_ = 0;
   std::uint64_t keep_cap_messages_ = 0;
   obs::ObsSink obs_;
@@ -98,6 +156,8 @@ class ControlServer {
   obs::Counter* obs_set_caps_ = nullptr;
   obs::Counter* obs_keep_caps_ = nullptr;
   obs::Counter* obs_disconnects_ = nullptr;
+  obs::Counter* obs_timeouts_ = nullptr;
+  obs::Counter* obs_readmits_ = nullptr;
   obs::Histogram* obs_decide_seconds_ = nullptr;
 };
 

@@ -1,0 +1,97 @@
+#include "net/wire.hpp"
+
+#include <poll.h>
+#include <signal.h>
+#include <sys/socket.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+
+namespace dps {
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw std::runtime_error(what + ": " + std::strerror(errno));
+}
+
+bool peer_gone(int err) {
+  return err == EPIPE || err == ECONNRESET || err == ETIMEDOUT;
+}
+
+}  // namespace
+
+void ignore_sigpipe() {
+  static std::once_flag once;
+  std::call_once(once, [] { ::signal(SIGPIPE, SIG_IGN); });
+}
+
+bool write_all(int fd, const std::uint8_t* data, std::size_t len) {
+  std::size_t sent = 0;
+  while (sent < len) {
+    const ssize_t n = ::send(fd, data + sent, len - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (peer_gone(errno)) return false;
+      throw_errno("send");
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool read_exact(int fd, std::uint8_t* data, std::size_t len) {
+  std::size_t got = 0;
+  while (got < len) {
+    const ssize_t n = ::recv(fd, data + got, len - got, 0);
+    if (n == 0) return false;  // orderly close
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (peer_gone(errno)) return false;
+      throw_errno("recv");
+    }
+    got += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+IoStatus read_exact_deadline(int fd, std::uint8_t* data, std::size_t len,
+                             double timeout_s) {
+  if (timeout_s <= 0.0) {
+    return read_exact(fd, data, len) ? IoStatus::kOk : IoStatus::kClosed;
+  }
+  using Clock = std::chrono::steady_clock;
+  const auto deadline =
+      Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                         std::chrono::duration<double>(timeout_s));
+  std::size_t got = 0;
+  while (got < len) {
+    const auto remaining = deadline - Clock::now();
+    if (remaining <= Clock::duration::zero()) return IoStatus::kTimeout;
+    pollfd pfd{fd, POLLIN, 0};
+    const int remaining_ms = static_cast<int>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(remaining)
+            .count()) +
+        1;
+    const int ready = ::poll(&pfd, 1, remaining_ms);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("poll");
+    }
+    if (ready == 0) return IoStatus::kTimeout;
+    const ssize_t n = ::recv(fd, data + got, len - got, 0);
+    if (n == 0) return IoStatus::kClosed;
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+      if (peer_gone(errno)) return IoStatus::kClosed;
+      throw_errno("recv");
+    }
+    got += static_cast<std::size_t>(n);
+  }
+  return IoStatus::kOk;
+}
+
+}  // namespace dps

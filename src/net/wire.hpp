@@ -1,0 +1,38 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace dps {
+
+/// Result of a deadline-bounded read.
+enum class IoStatus {
+  kOk,       ///< All bytes arrived.
+  kClosed,   ///< Peer closed (orderly) or reset the connection.
+  kTimeout,  ///< Deadline expired before all bytes arrived.
+};
+
+/// Installs SIG_IGN for SIGPIPE once per process, so a send() to a peer
+/// that died between poll() and write() surfaces as EPIPE instead of
+/// killing the daemon. Safe to call repeatedly and from multiple threads.
+void ignore_sigpipe();
+
+/// Writes exactly `len` bytes, retrying on EINTR and short writes.
+/// Returns false when the peer is gone (EPIPE / ECONNRESET); throws
+/// std::runtime_error on any other error.
+bool write_all(int fd, const std::uint8_t* data, std::size_t len);
+
+/// Reads exactly `len` bytes, retrying on EINTR and short reads. Returns
+/// false on orderly close or connection reset; throws std::runtime_error
+/// on any other error.
+bool read_exact(int fd, std::uint8_t* data, std::size_t len);
+
+/// Like read_exact, but bounded: poll()s the descriptor and gives up once
+/// `timeout_s` seconds have elapsed without the full message. Bytes read
+/// before a timeout stay consumed (callers keeping per-connection buffers
+/// should use non-blocking reads instead); a non-positive timeout degrades
+/// to the unbounded read_exact.
+IoStatus read_exact_deadline(int fd, std::uint8_t* data, std::size_t len,
+                             double timeout_s);
+
+}  // namespace dps

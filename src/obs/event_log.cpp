@@ -22,6 +22,11 @@ const char* to_string(EventKind kind) {
     case EventKind::kJobStart: return "job_start";
     case EventKind::kJobEnd: return "job_end";
     case EventKind::kJobRequeue: return "job_requeue";
+    case EventKind::kClientTimeout: return "client_timeout";
+    case EventKind::kClientReadmit: return "client_readmit";
+    case EventKind::kCheckpointWrite: return "checkpoint_write";
+    case EventKind::kCheckpointRestore: return "checkpoint_restore";
+    case EventKind::kFailsafeCap: return "failsafe_cap";
   }
   return "unknown";
 }
@@ -33,7 +38,10 @@ bool event_kind_from_string(const std::string& name, EventKind& out) {
         EventKind::kFaultEnd, EventKind::kBudgetChange,
         EventKind::kClientConnect, EventKind::kClientDisconnect,
         EventKind::kSpan, EventKind::kJobSubmit, EventKind::kJobStart,
-        EventKind::kJobEnd, EventKind::kJobRequeue}) {
+        EventKind::kJobEnd, EventKind::kJobRequeue,
+        EventKind::kClientTimeout, EventKind::kClientReadmit,
+        EventKind::kCheckpointWrite, EventKind::kCheckpointRestore,
+        EventKind::kFailsafeCap}) {
     if (name == to_string(kind)) {
       out = kind;
       return true;

@@ -57,6 +57,20 @@ enum class EventKind : std::uint8_t {
   /// A running job was killed by a unit crash and put back in the queue.
   /// unit = the crashed unit, value = job id, extra = retries so far.
   kJobRequeue,
+  /// A connected client missed the round deadline; its unit was scored
+  /// 0 W this round. extra = the round deadline [s].
+  kClientTimeout,
+  /// A restarted client reclaimed its old slot mid-session.
+  kClientReadmit,
+  /// The controller wrote a state snapshot. value = rounds completed,
+  /// extra = snapshot size [bytes].
+  kCheckpointWrite,
+  /// A restarted controller restored a snapshot and resumed stateful
+  /// control. value = the snapshot's round count.
+  kCheckpointRestore,
+  /// A client lost the server and self-applied its failsafe cap.
+  /// value = the failsafe cap [W].
+  kFailsafeCap,
 };
 
 /// Stable lower_snake name for CSV / trace exports.

@@ -26,6 +26,20 @@ double Kalman1D::update(double measurement) {
   return x_;
 }
 
+void Kalman1D::save(ByteWriter& out) const {
+  out.f64(x_);
+  out.f64(p_);
+  out.f64(k_);
+  out.f64(initial_variance_);
+}
+
+void Kalman1D::load(ByteReader& in) {
+  x_ = in.f64();
+  p_ = in.f64();
+  k_ = in.f64();
+  initial_variance_ = in.f64();
+}
+
 void Kalman1D::reset(double initial_estimate, double initial_variance) {
   x_ = initial_estimate;
   p_ = initial_variance;

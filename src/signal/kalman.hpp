@@ -1,5 +1,7 @@
 #pragma once
 
+#include "util/bytes.hpp"
+
 namespace dps {
 
 /// One-dimensional Kalman filter in the standard Welch & Bishop formulation
@@ -35,6 +37,12 @@ class Kalman1D {
 
   /// Resets the filter to a fresh initial state.
   void reset(double initial_estimate = 0.0, double initial_variance = 1e6);
+
+  /// Checkpoint support: serializes / restores the posterior (x, P, K).
+  /// Q and R are configuration, not state — the restored filter keeps the
+  /// values it was constructed with.
+  void save(ByteWriter& out) const;
+  void load(ByteReader& in);
 
  private:
   double q_;

@@ -59,6 +59,17 @@ std::span<const double> RollingWindow::contents() const { return data_; }
 
 void RollingWindow::clear() { data_.clear(); }
 
+void RollingWindow::save(ByteWriter& out) const { out.doubles(data_); }
+
+void RollingWindow::load(ByteReader& in) {
+  auto samples = in.doubles();
+  if (samples.size() > capacity_) {
+    throw std::runtime_error(
+        "RollingWindow: snapshot larger than configured capacity");
+  }
+  data_ = std::move(samples);
+}
+
 double mean_of(std::span<const double> values) {
   if (values.empty()) return 0.0;
   double sum = 0.0;

@@ -4,6 +4,8 @@
 #include <span>
 #include <vector>
 
+#include "util/bytes.hpp"
+
 namespace dps {
 
 /// Fixed-capacity rolling window over a scalar series, oldest samples
@@ -50,6 +52,12 @@ class RollingWindow {
   std::span<const double> contents() const;
 
   void clear();
+
+  /// Checkpoint support: serializes / restores the window contents. The
+  /// capacity is configuration and must match on load (throws
+  /// std::runtime_error when the snapshot holds more samples than fit).
+  void save(ByteWriter& out) const;
+  void load(ByteReader& in);
 
  private:
   std::size_t capacity_;

@@ -76,6 +76,18 @@ double Rng::normal(double mean, double stddev) {
 
 Rng Rng::split() { return Rng(next_u64()); }
 
+void Rng::save(ByteWriter& out) const {
+  for (const std::uint64_t lane : s_) out.u64(lane);
+  out.f64(cached_normal_);
+  out.boolean(has_cached_normal_);
+}
+
+void Rng::load(ByteReader& in) {
+  for (auto& lane : s_) lane = in.u64();
+  cached_normal_ = in.f64();
+  has_cached_normal_ = in.boolean();
+}
+
 std::uint64_t mix_seed(std::uint64_t a, std::uint64_t b, std::uint64_t c) {
   std::uint64_t x = a;
   std::uint64_t out = splitmix64(x);

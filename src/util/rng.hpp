@@ -3,6 +3,8 @@
 #include <cstdint>
 #include <limits>
 
+#include "util/bytes.hpp"
+
 namespace dps {
 
 /// Deterministic, seedable PRNG (xoshiro256++) used everywhere in the
@@ -36,6 +38,12 @@ class Rng {
   /// Splits off an independent child stream; used to give each simulated
   /// unit / workload run its own stream without coupling their sequences.
   Rng split();
+
+  /// Checkpoint support: serializes / restores the exact generator state
+  /// (lanes + the cached Box-Muller deviate), so a restored stream
+  /// continues bit-identically where the saved one stopped.
+  void save(ByteWriter& out) const;
+  void load(ByteReader& in);
 
   // UniformRandomBitGenerator interface so <algorithm> shuffles work.
   using result_type = std::uint64_t;

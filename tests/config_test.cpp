@@ -3,6 +3,7 @@
 #include <fstream>
 
 #include "core/config_io.hpp"
+#include "net/net_config.hpp"
 #include "sched/sched_config.hpp"
 #include "util/ini.hpp"
 
@@ -152,6 +153,81 @@ TEST(ConfigIo, MimdBaseIsPreserved) {
   EXPECT_DOUBLE_EQ(config.inc_percentile, 1.3);
   EXPECT_EQ(config.dec_window_steps, base.dec_window_steps);
   EXPECT_DOUBLE_EQ(config.dec_percentile, base.dec_percentile);
+}
+
+// --- [net] section (src/net/net_config) ---
+
+TEST(NetConfig, DefaultsWhenEmpty) {
+  const auto config = net_config_from_ini(IniFile::parse(""));
+  const dps::NetConfig defaults;
+  EXPECT_DOUBLE_EQ(config.round_deadline_s, defaults.round_deadline_s);
+  EXPECT_DOUBLE_EQ(config.reconnect_base_backoff_s,
+                   defaults.reconnect_base_backoff_s);
+  EXPECT_DOUBLE_EQ(config.reconnect_max_backoff_s,
+                   defaults.reconnect_max_backoff_s);
+  EXPECT_EQ(config.reconnect_max_attempts, defaults.reconnect_max_attempts);
+  EXPECT_DOUBLE_EQ(config.failsafe_cap_w, defaults.failsafe_cap_w);
+  EXPECT_EQ(config.checkpoint_path, defaults.checkpoint_path);
+  EXPECT_EQ(config.checkpoint_interval_rounds,
+            defaults.checkpoint_interval_rounds);
+}
+
+TEST(NetConfig, RoundTripOverridesEveryKey) {
+  const auto config = net_config_from_ini(IniFile::parse(
+      "[net]\n"
+      "round_deadline_s = 2.5\n"
+      "reconnect_base_backoff_s = 0.1\n"
+      "reconnect_max_backoff_s = 4.0\n"
+      "reconnect_max_attempts = 7\n"
+      "failsafe_cap_w = 55.0\n"
+      "checkpoint_path = /tmp/dps.ckpt\n"
+      "checkpoint_interval_rounds = 12\n"));
+  EXPECT_DOUBLE_EQ(config.round_deadline_s, 2.5);
+  EXPECT_DOUBLE_EQ(config.reconnect_base_backoff_s, 0.1);
+  EXPECT_DOUBLE_EQ(config.reconnect_max_backoff_s, 4.0);
+  EXPECT_EQ(config.reconnect_max_attempts, 7);
+  EXPECT_DOUBLE_EQ(config.failsafe_cap_w, 55.0);
+  EXPECT_EQ(config.checkpoint_path, "/tmp/dps.ckpt");
+  EXPECT_EQ(config.checkpoint_interval_rounds, 12u);
+}
+
+TEST(NetConfig, ShippedIniMatchesBuiltInDefaults) {
+  const auto config = net_config_from_file(std::string(DPS_SOURCE_DIR) +
+                                           "/configs/dps.ini");
+  const dps::NetConfig defaults;
+  EXPECT_DOUBLE_EQ(config.round_deadline_s, defaults.round_deadline_s);
+  EXPECT_DOUBLE_EQ(config.reconnect_base_backoff_s,
+                   defaults.reconnect_base_backoff_s);
+  EXPECT_DOUBLE_EQ(config.reconnect_max_backoff_s,
+                   defaults.reconnect_max_backoff_s);
+  EXPECT_EQ(config.reconnect_max_attempts, defaults.reconnect_max_attempts);
+  EXPECT_DOUBLE_EQ(config.failsafe_cap_w, defaults.failsafe_cap_w);
+  EXPECT_EQ(config.checkpoint_path, defaults.checkpoint_path);
+  EXPECT_EQ(config.checkpoint_interval_rounds,
+            defaults.checkpoint_interval_rounds);
+}
+
+TEST(NetConfig, RejectsInvalidValues) {
+  EXPECT_THROW(net_config_from_ini(IniFile::parse(
+                   "[net]\nround_deadline_s = -1\n")),
+               std::runtime_error);
+  EXPECT_THROW(net_config_from_ini(IniFile::parse(
+                   "[net]\nreconnect_base_backoff_s = 0\n")),
+               std::runtime_error);
+  EXPECT_THROW(net_config_from_ini(IniFile::parse(
+                   "[net]\n"
+                   "reconnect_base_backoff_s = 2.0\n"
+                   "reconnect_max_backoff_s = 1.0\n")),
+               std::runtime_error);
+  EXPECT_THROW(net_config_from_ini(IniFile::parse(
+                   "[net]\nreconnect_max_attempts = 0\n")),
+               std::runtime_error);
+  EXPECT_THROW(net_config_from_ini(IniFile::parse(
+                   "[net]\nfailsafe_cap_w = -5\n")),
+               std::runtime_error);
+  EXPECT_THROW(net_config_from_ini(IniFile::parse(
+                   "[net]\ncheckpoint_interval_rounds = 0\n")),
+               std::runtime_error);
 }
 
 // --- [sched] section (src/sched/sched_config) ---

@@ -30,6 +30,15 @@ inline bool drive_protocol(const std::uint8_t* data, std::size_t size) {
   WireBytes bytes = {data[0], data[1], data[2]};
   const auto message = decode(bytes);
   if (!message) return true;
+  if (message->type == MessageType::kHello) {
+    // A hello's payload is version/unit, not deciwatts — its round trip
+    // goes through the handshake codec, which must be exact on any bytes.
+    const auto hello = decode_hello(bytes);
+    if (!hello) return false;
+    const auto round = encode_hello(*hello);
+    return round[0] == bytes[0] && round[1] == bytes[1] &&
+           round[2] == bytes[2];
+  }
   const auto round = encode(*message);
   return round[0] == bytes[0] && round[1] == bytes[1] && round[2] == bytes[2];
 }

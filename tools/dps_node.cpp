@@ -37,7 +37,12 @@ void print_usage() {
       "  --port P         controller TCP port       [9571]\n"
       "  --sysfs [ROOT]   drive real RAPL domains (default powercap root)\n"
       "  --simulate N     drive N synthetic units instead\n"
-      "  --seed S         random-walk seed for --simulate [1]\n");
+      "  --seed S         random-walk seed for --simulate [1]\n"
+      "  --failsafe-cap W cap self-applied when the controller is lost\n"
+      "                   (0 = keep the last commanded cap)     [0]\n"
+      "  --attempts N     connect/reconnect attempts per cycle  [10]\n"
+      "  --backoff-base S first retry delay (doubles per try)   [0.05]\n"
+      "  --backoff-max S  retry delay ceiling                   [2.0]\n");
 }
 
 /// Synthetic unit for --simulate: a bounded random walk that respects the
@@ -71,6 +76,7 @@ int main(int argc, char** argv) {
   std::string sysfs_root = SysfsRapl::kDefaultRoot;
   int simulate = 0;
   std::uint64_t seed = 1;
+  NodeClientConfig client_config;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -88,6 +94,14 @@ int main(int argc, char** argv) {
       simulate = std::atoi(argv[++i]);
     } else if (arg == "--seed" && i + 1 < argc) {
       seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+    } else if (arg == "--failsafe-cap" && i + 1 < argc) {
+      client_config.failsafe_cap_w = std::atof(argv[++i]);
+    } else if (arg == "--attempts" && i + 1 < argc) {
+      client_config.connect_attempts = std::atoi(argv[++i]);
+    } else if (arg == "--backoff-base" && i + 1 < argc) {
+      client_config.backoff_base_s = std::atof(argv[++i]);
+    } else if (arg == "--backoff-max" && i + 1 < argc) {
+      client_config.backoff_max_s = std::atof(argv[++i]);
     } else {
       std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
       print_usage();
@@ -107,11 +121,14 @@ int main(int argc, char** argv) {
       std::printf("dps_node: %d RAPL package domains under %s\n",
                   rapl->num_units(), sysfs_root.c_str());
       for (int u = 0; u < rapl->num_units(); ++u) {
-        unit_threads.emplace_back([rapl, u, host, port] {
+        unit_threads.emplace_back([rapl, u, host, port, client_config] {
+          NodeClientConfig config = client_config;
+          config.jitter_seed = 0x9d5ULL + static_cast<std::uint64_t>(u);
           NodeClient client([rapl, u] { return rapl->read_power(u); },
-                            [rapl, u](Watts cap) { rapl->set_cap(u, cap); });
-          client.connect(static_cast<std::uint16_t>(port), host);
-          const int rounds = client.run();
+                            [rapl, u](Watts cap) { rapl->set_cap(u, cap); },
+                            config);
+          const int rounds =
+              client.run_resilient(static_cast<std::uint16_t>(port), host);
           std::printf("dps_node: unit %d finished after %d rounds\n", u,
                       rounds);
         });
@@ -120,13 +137,16 @@ int main(int argc, char** argv) {
       std::printf("dps_node: %d simulated units -> %s:%d\n", simulate,
                   host.c_str(), port);
       for (int u = 0; u < simulate; ++u) {
-        unit_threads.emplace_back([u, host, port, seed] {
+        unit_threads.emplace_back([u, host, port, seed, client_config] {
           auto unit = std::make_shared<SimulatedUnit>(
               seed + static_cast<std::uint64_t>(u) * 7919);
+          NodeClientConfig config = client_config;
+          config.jitter_seed = seed + static_cast<std::uint64_t>(u) * 31;
           NodeClient client([unit] { return unit->read_power(); },
-                            [unit](Watts cap) { unit->set_cap(cap); });
-          client.connect(static_cast<std::uint16_t>(port), host);
-          const int rounds = client.run();
+                            [unit](Watts cap) { unit->set_cap(cap); },
+                            config);
+          const int rounds =
+              client.run_resilient(static_cast<std::uint16_t>(port), host);
           std::printf("dps_node: unit %d finished after %d rounds\n", u,
                       rounds);
         });

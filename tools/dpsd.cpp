@@ -20,10 +20,12 @@
 #include <string>
 #include <thread>
 
+#include "core/checkpoint.hpp"
 #include "core/config_io.hpp"
 #include "core/dps_manager.hpp"
 #include "managers/constant.hpp"
 #include "managers/slurm_stateless.hpp"
+#include "net/net_config.hpp"
 #include "net/server.hpp"
 #include "obs/obs_config.hpp"
 #include "p2p/p2p_manager.hpp"
@@ -47,6 +49,14 @@ void print_usage() {
       "  --period SECONDS   decision-loop period            [1.0]\n"
       "  --rounds N         stop after N rounds (0 = until signal)\n"
       "  --bind-any         listen on all interfaces, not just loopback\n"
+      "  --round-deadline S collect-phase deadline per round; a client\n"
+      "                     missing it is scored 0 W   [5.0, 0 = none]\n"
+      "  --checkpoint FILE  write a controller state snapshot to FILE\n"
+      "  --checkpoint-interval N\n"
+      "                     snapshot every N rounds    [30]\n"
+      "  --restore          restore state from --checkpoint FILE at start\n"
+      "                     and resume the session (units/budget come from\n"
+      "                     the snapshot)\n"
       "  --obs-metrics F    write Prometheus metrics to F on shutdown\n"
       "  --obs-events F     write the event-log CSV to F on shutdown\n"
       "  --obs-trace F      write Chrome trace_event JSON to F on shutdown\n"
@@ -67,6 +77,10 @@ int main(int argc, char** argv) {
   double period = 1.0;
   long max_rounds = 0;
   bool bind_any = false;
+  bool restore = false;
+  double round_deadline = -1.0;  // < 0: keep the config/default value
+  long checkpoint_interval = 0;  // 0: keep the config/default value
+  std::string checkpoint_path;
   std::string manager_name = "dps";
   std::string config_path;
   std::string obs_metrics_path, obs_events_path, obs_trace_path;
@@ -105,6 +119,14 @@ int main(int argc, char** argv) {
       obs_trace_path = argv[i];
     } else if (arg == "--bind-any") {
       bind_any = true;
+    } else if (arg == "--round-deadline" && value()) {
+      round_deadline = std::atof(argv[i]);
+    } else if (arg == "--checkpoint" && value()) {
+      checkpoint_path = argv[i];
+    } else if (arg == "--checkpoint-interval" && value()) {
+      checkpoint_interval = std::atol(argv[i]);
+    } else if (arg == "--restore") {
+      restore = true;
     } else {
       std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
       print_usage();
@@ -121,10 +143,24 @@ int main(int argc, char** argv) {
   try {
     DpsConfig dps_config;
     obs::ObsConfig obs_config;
+    NetConfig net_config;
     if (!config_path.empty()) {
       const IniFile ini = IniFile::load(config_path);
       dps_config = dps_config_from_ini(ini);
       obs_config = obs::obs_config_from_ini(ini);
+      net_config = net_config_from_ini(ini);
+    }
+    // Explicit flags override the [net] section.
+    if (round_deadline >= 0.0) net_config.round_deadline_s = round_deadline;
+    if (!checkpoint_path.empty()) net_config.checkpoint_path = checkpoint_path;
+    if (checkpoint_interval > 0) {
+      net_config.checkpoint_interval_rounds =
+          static_cast<std::size_t>(checkpoint_interval);
+    }
+    validate_net_config(net_config);
+    if (restore && net_config.checkpoint_path.empty()) {
+      std::fprintf(stderr, "error: --restore needs --checkpoint FILE\n");
+      return 2;
     }
     // Any --obs-* flag both sets the export target and enables obs.
     if (!obs_metrics_path.empty()) {
@@ -159,7 +195,8 @@ int main(int argc, char** argv) {
     std::signal(SIGINT, handle_signal);
     std::signal(SIGTERM, handle_signal);
 
-    ControlServer server(static_cast<std::uint16_t>(port), units, bind_any);
+    ControlServer server(static_cast<std::uint16_t>(port), units, bind_any,
+                         net_config);
     server.set_obs(obs_sink);
     std::printf("dpsd: %s manager, %d units, %.0f W budget, port %u%s\n",
                 manager_name.c_str(), units, budget, server.port(),
@@ -174,7 +211,21 @@ int main(int argc, char** argv) {
     ctx.tdp = tdp;
     ctx.min_cap = min_cap;
     ctx.dt = period;
-    server.begin_session(*manager, ctx);
+
+    if (restore) {
+      const ControlCheckpoint ckpt =
+          read_checkpoint_file(net_config.checkpoint_path);
+      restore_manager(*manager, ckpt);
+      ctx = ckpt.ctx;  // the snapshot is authoritative for the session shape
+      server.resume_session(*manager, ctx, ckpt.round, ckpt.caps,
+                            ckpt.previous_caps);
+      obs_sink.event(obs::EventKind::kCheckpointRestore, -1,
+                     static_cast<double>(ckpt.round));
+      std::printf("dpsd: restored checkpoint at round %llu, resuming\n",
+                  static_cast<unsigned long long>(ckpt.round));
+    } else {
+      server.begin_session(*manager, ctx);
+    }
 
     std::uint64_t decide_ns = 0;
     long rounds = 0;
@@ -184,6 +235,16 @@ int main(int argc, char** argv) {
     while (!g_stop && (max_rounds == 0 || rounds < max_rounds)) {
       decide_ns += server.run_round(*manager);
       ++rounds;
+      if (!net_config.checkpoint_path.empty() &&
+          server.rounds() % net_config.checkpoint_interval_rounds == 0) {
+        const ControlCheckpoint ckpt = make_checkpoint(
+            *manager, ctx, server.rounds(), server.last_caps(),
+            server.previous_caps());
+        write_checkpoint_file(net_config.checkpoint_path, ckpt);
+        obs_sink.event(obs::EventKind::kCheckpointWrite, -1,
+                       static_cast<double>(server.rounds()),
+                       static_cast<double>(ckpt.manager_state.size()));
+      }
       if (rounds % 60 == 0) {
         Watts total = 0.0;
         for (const Watts c : server.last_caps()) total += c;

@@ -17,8 +17,10 @@
 #include <optional>
 #include <string>
 
+#include "core/config_io.hpp"
 #include "core/dps_manager.hpp"
 #include "experiments/pair_runner.hpp"
+#include "net/net_config.hpp"
 #include "obs/obs_config.hpp"
 #include "experiments/registry.hpp"
 #include "managers/constant.hpp"
@@ -44,6 +46,7 @@ struct Options {
   double budget_per_socket = 110.0;
   int sockets = 10;
   std::optional<std::string> trace_path;
+  std::string config_path;
   std::string obs_metrics_path, obs_events_path, obs_trace_path;
   // Job-schedule mode (src/sched/): active when --sched-policy or
   // --job-trace is given.
@@ -77,6 +80,9 @@ void print_usage() {
       "  --budget <watts>  per-socket cluster budget        [110]\n"
       "  --sockets <n>     sockets per cluster              [10]\n"
       "  --trace <path>    dump per-step telemetry CSV\n"
+      "  --config <file>   INI with [dps]/[stateless]/[obs] sections\n"
+      "                    (the [net] section is validated too, so one\n"
+      "                    file can serve exp and the daemons)\n"
       "  --obs-metrics <p> write Prometheus metrics of an observed run\n"
       "  --obs-events <p>  write the structured event-log CSV\n"
       "  --obs-trace <p>   write Chrome trace_event JSON (chrome://tracing)\n"
@@ -134,6 +140,10 @@ std::optional<Options> parse(int argc, char** argv) {
       const char* v = next();
       if (!v) return std::nullopt;
       options.trace_path = v;
+    } else if (arg == "--config") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      options.config_path = v;
     } else if (arg == "--obs-metrics") {
       const char* v = next();
       if (!v) return std::nullopt;
@@ -174,6 +184,26 @@ std::optional<Options> parse(int argc, char** argv) {
   return options;
 }
 
+/// Everything an INI --config can feed into exp. The [net] section is
+/// parsed and validated too — not used by the simulator, but it keeps a
+/// single dps.ini honest across exp, dpsd, and dps_node.
+struct FileConfig {
+  DpsConfig dps;
+  MimdConfig stateless = slurm_plugin_defaults();
+  obs::ObsConfig obs;
+};
+
+FileConfig load_file_config(const std::string& path) {
+  FileConfig fc;
+  if (path.empty()) return fc;
+  const IniFile ini = IniFile::load(path);
+  fc.dps = dps_config_from_ini(ini);
+  fc.stateless = mimd_config_from_ini(ini, slurm_plugin_defaults());
+  fc.obs = obs::obs_config_from_ini(ini);
+  validate_net_config(net_config_from_ini(ini));
+  return fc;
+}
+
 ManagerKind manager_kind(const std::string& name) {
   if (name == "constant") return ManagerKind::kConstant;
   if (name == "slurm") return ManagerKind::kSlurm;
@@ -200,7 +230,7 @@ void list_workloads() {
 
 /// Job-schedule mode: run an open job stream through the scheduling
 /// subsystem instead of the static pair assignment.
-void run_sched_mode(const Options& options) {
+void run_sched_mode(const Options& options, const FileConfig& fc) {
   sched::JobScheduleConfig js;
   if (options.sched_policy.has_value() &&
       !sched::sched_policy_from_string(*options.sched_policy, js.policy)) {
@@ -218,16 +248,22 @@ void run_sched_mode(const Options& options) {
 
   EngineConfig config;
   config.total_budget = options.budget_per_socket * options.units;
-  obs::ObsConfig obs_config;
-  obs_config.enabled = options.obs_enabled();
-  obs_config.export_prometheus = options.obs_metrics_path;
-  obs_config.export_events_csv = options.obs_events_path;
-  obs_config.export_trace_json = options.obs_trace_path;
+  obs::ObsConfig obs_config = fc.obs;
+  if (!options.obs_metrics_path.empty()) {
+    obs_config.export_prometheus = options.obs_metrics_path;
+  }
+  if (!options.obs_events_path.empty()) {
+    obs_config.export_events_csv = options.obs_events_path;
+  }
+  if (!options.obs_trace_path.empty()) {
+    obs_config.export_trace_json = options.obs_trace_path;
+  }
+  if (options.obs_enabled()) obs_config.enabled = true;
   config.obs = obs::make_sink(obs_config);
   config.job_schedule = js;
 
-  DpsManager dps;
-  SlurmStatelessManager slurm;
+  DpsManager dps(fc.dps);
+  SlurmStatelessManager slurm(fc.stateless);
   ConstantManager constant;
   PowerManager* manager = &dps;
   const auto kind = manager_kind(options.manager);
@@ -238,6 +274,7 @@ void run_sched_mode(const Options& options) {
         "job-schedule mode supports constant | slurm | dps");
   }
 
+  const bool export_obs = obs_config.enabled && obs_config.any_export();
   const auto result = run_jobs(*manager, config, options.units);
   const auto& s = result.sched;
   std::printf("job stream under %s / %s policy (%d units, %.0f W budget, "
@@ -263,7 +300,7 @@ void run_sched_mode(const Options& options) {
   table.add_row({"timed out", result.timed_out ? "yes" : "no"});
   table.add_row({"peak cap sum [W]", format_double(result.peak_cap_sum, 1)});
   table.print();
-  if (options.obs_enabled()) {
+  if (export_obs) {
     obs::export_all(config.obs, obs_config);
     std::printf("(observability exports written)\n");
   }
@@ -287,8 +324,9 @@ int main(int argc, char** argv) {
   }
 
   try {
+    const FileConfig fc = load_file_config(options->config_path);
     if (options->sched_mode()) {
-      run_sched_mode(*options);
+      run_sched_mode(*options, fc);
       return 0;
     }
     ExperimentParams params;
@@ -296,6 +334,8 @@ int main(int argc, char** argv) {
     params.seed = options->seed;
     params.budget_per_socket = options->budget_per_socket;
     params.sockets_per_cluster = options->sockets;
+    params.dps = fc.dps;
+    params.slurm = fc.stateless;
     PairRunner runner(params);
 
     const auto workload_a = workload_by_name(options->a);
@@ -338,18 +378,24 @@ int main(int argc, char** argv) {
       config.total_budget =
           options->budget_per_socket * 2 * options->sockets;
       config.max_time = 50000.0;
-      obs::ObsConfig obs_config;
+      obs::ObsConfig obs_config = fc.obs;
       obs_config.enabled = options->obs_enabled();
-      obs_config.export_prometheus = options->obs_metrics_path;
-      obs_config.export_events_csv = options->obs_events_path;
-      obs_config.export_trace_json = options->obs_trace_path;
+      if (!options->obs_metrics_path.empty()) {
+        obs_config.export_prometheus = options->obs_metrics_path;
+      }
+      if (!options->obs_events_path.empty()) {
+        obs_config.export_events_csv = options->obs_events_path;
+      }
+      if (!options->obs_trace_path.empty()) {
+        obs_config.export_trace_json = options->obs_trace_path;
+      }
       config.obs = obs::make_sink(obs_config);
       Cluster cluster(
           {GroupSpec{workload_a, options->sockets, options->seed},
            GroupSpec{workload_b, options->sockets, options->seed + 1}});
       SimulatedRapl rapl(cluster.total_units());
-      DpsManager dps;
-      SlurmStatelessManager slurm;
+      DpsManager dps(fc.dps);
+      SlurmStatelessManager slurm(fc.stateless);
       ConstantManager constant;
       OracleManager oracle(
           [&cluster](std::span<Watts> out) { cluster.true_demands(out); });
