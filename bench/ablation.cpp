@@ -15,6 +15,7 @@
 /// collapses towards SLURM's starvation behaviour.
 
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -85,14 +86,29 @@ int main() {
   csv.write_header({"variant", "pair", "pair_hmean", "fairness"});
 
   Table table({"variant", "mean pair gain", "min pair gain", "mean fairness"});
+
+  // One runner per variant (each owns that variant's DpsConfig); the
+  // (variant x pair) grid fans out as one flat sweep, baselines shared
+  // within a variant through the runner's compute-once caches.
+  std::vector<std::unique_ptr<PairRunner>> runners;
   for (const auto& variant : variants) {
     ExperimentParams params = dps::bench::params_from_env();
     params.dps = variant.config;
-    PairRunner runner(params);
+    runners.push_back(std::make_unique<PairRunner>(params));
+  }
+  const std::size_t grid = variants.size() * pairs.size();
+  const auto outcomes = sweep_ordered(grid, [&](std::size_t i) {
+    const auto& [a, b] = pairs[i % pairs.size()];
+    return runners[i / pairs.size()]->run_pair(
+        workload_by_name(a), workload_by_name(b), ManagerKind::kDps);
+  });
+
+  for (std::size_t v = 0; v < variants.size(); ++v) {
+    const auto& variant = variants[v];
     std::vector<double> gains, fairs;
-    for (const auto& [a, b] : pairs) {
-      const auto outcome = runner.run_pair(
-          workload_by_name(a), workload_by_name(b), ManagerKind::kDps);
+    for (std::size_t p = 0; p < pairs.size(); ++p) {
+      const auto& [a, b] = pairs[p];
+      const auto& outcome = outcomes[v * pairs.size() + p];
       gains.push_back(outcome.pair_hmean);
       fairs.push_back(outcome.fairness);
       csv.write_row({variant.name, a + "+" + b,

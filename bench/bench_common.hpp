@@ -4,14 +4,21 @@
 /// the same environment knobs so quick runs and paper-scale runs share one
 /// binary:
 ///   DPS_REPEATS  completed runs per workload per pair   (default 2;
-///                the paper uses >= 10)
+///                the paper uses >= 10, and ExperimentParams' library
+///                default of 3 applies only to direct API callers — the
+///                benches always come through this knob)
 ///   DPS_SEED     base seed for workload jitter           (default 42)
 ///   DPS_OUT      directory for CSV dumps                 (default "bench_out")
+///   DPS_JOBS     sweep worker threads                    (default: hardware
+///                concurrency; DPS_JOBS=1 reproduces the serial path).
+///                Output is byte-identical at any value — see
+///                docs/performance.md for the determinism contract.
 
 #include <filesystem>
 #include <string>
 
 #include "experiments/pair_runner.hpp"
+#include "experiments/sweep.hpp"
 #include "util/env.hpp"
 
 namespace dps::bench {

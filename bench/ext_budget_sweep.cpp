@@ -37,26 +37,40 @@ int main() {
                     "fairness"});
 
   Table table({"budget [W/socket]", "pair", "slurm", "dps", "dps advantage"});
-  for (const double budget : budgets) {
-    for (const auto& [a_name, b_name] : pairs) {
-      ExperimentParams params = dps::bench::params_from_env();
-      params.budget_per_socket = budget;
-      PairRunner runner(params);
-      const auto a = workload_by_name(a_name);
-      const auto b = workload_by_name(b_name);
-      const auto slurm = runner.run_pair(a, b, ManagerKind::kSlurm);
-      const auto dps = runner.run_pair(a, b, ManagerKind::kDps);
-      csv.write_row({format_double(budget, 0), a_name + "+" + b_name,
-                     "slurm", format_double(slurm.pair_hmean, 4),
-                     format_double(slurm.fairness, 4)});
-      csv.write_row({format_double(budget, 0), a_name + "+" + b_name, "dps",
-                     format_double(dps.pair_hmean, 4),
-                     format_double(dps.fairness, 4)});
-      table.add_row({format_double(budget, 0), a_name + "+" + b_name,
-                     dps::bench::percent(slurm.pair_hmean),
-                     dps::bench::percent(dps.pair_hmean),
-                     dps::bench::percent(dps.pair_hmean / slurm.pair_hmean)});
-    }
+
+  // Each (budget, pair) point owns its PairRunner (baselines depend on the
+  // budget), runs both managers, and is independent of every other point —
+  // a flat ordered sweep over the grid.
+  struct Point {
+    PairOutcome slurm, dps;
+  };
+  const std::size_t grid = budgets.size() * pairs.size();
+  const auto points = sweep_ordered(grid, [&](std::size_t i) {
+    ExperimentParams params = dps::bench::params_from_env();
+    params.budget_per_socket = budgets[i / pairs.size()];
+    PairRunner runner(params);
+    const auto& [a_name, b_name] = pairs[i % pairs.size()];
+    const auto a = workload_by_name(a_name);
+    const auto b = workload_by_name(b_name);
+    return Point{runner.run_pair(a, b, ManagerKind::kSlurm),
+                 runner.run_pair(a, b, ManagerKind::kDps)};
+  });
+
+  for (std::size_t i = 0; i < grid; ++i) {
+    const double budget = budgets[i / pairs.size()];
+    const auto& [a_name, b_name] = pairs[i % pairs.size()];
+    const auto& slurm = points[i].slurm;
+    const auto& dps = points[i].dps;
+    csv.write_row({format_double(budget, 0), a_name + "+" + b_name,
+                   "slurm", format_double(slurm.pair_hmean, 4),
+                   format_double(slurm.fairness, 4)});
+    csv.write_row({format_double(budget, 0), a_name + "+" + b_name, "dps",
+                   format_double(dps.pair_hmean, 4),
+                   format_double(dps.fairness, 4)});
+    table.add_row({format_double(budget, 0), a_name + "+" + b_name,
+                   dps::bench::percent(slurm.pair_hmean),
+                   dps::bench::percent(dps.pair_hmean),
+                   dps::bench::percent(dps.pair_hmean / slurm.pair_hmean)});
   }
   table.print();
 

@@ -72,9 +72,9 @@ double run_pair_gain(PowerManager& manager, const WorkloadSpec& wave,
   for (int u = 0; u < ctx.num_units; ++u) rapl.set_cap(u, caps[u]);
 
   long flagged = 0, samples = 0;
+  std::vector<Watts> effective(ctx.num_units);
   while (cluster.min_completions() < config.target_completions &&
          cluster.now() < config.max_time) {
-    std::vector<Watts> effective(ctx.num_units);
     for (int u = 0; u < ctx.num_units; ++u) {
       effective[u] = rapl.effective_cap(u);
     }
@@ -118,8 +118,14 @@ int main() {
                     "dps_pair_gain"});
 
   Table table({"period [s]", "HF flag share", "slurm gain", "dps gain"});
-  for (const Seconds period : {4.0, 8.0, 12.0, 20.0, 40.0, 80.0, 160.0}) {
-    const auto wave = wave_of_period(period);
+
+  // One sweep task per period: its solo baselines and both pair runs are
+  // self-contained, so the seven points run concurrently and report in
+  // period order.
+  const std::vector<Seconds> periods = {4.0, 8.0, 12.0, 20.0,
+                                        40.0, 80.0, 160.0};
+  const auto points = sweep_ordered(periods.size(), [&](std::size_t i) {
+    const auto wave = wave_of_period(periods[i]);
 
     // Constant baselines for this wave and the partner.
     ConstantManager constant_a;
@@ -148,19 +154,25 @@ int main() {
     }
     const double base_b = hmean_latency(base_lat_b);
 
+    SweepPoint point;
     SlurmStatelessManager slurm;
-    const double slurm_gain =
-        run_pair_gain(slurm, wave, partner, base_a, base_b);
+    point.gain_slurm = run_pair_gain(slurm, wave, partner, base_a, base_b);
     DpsManager dps;
-    double hf_share = 0.0;
-    const double dps_gain =
-        run_pair_gain(dps, wave, partner, base_a, base_b, &hf_share, &dps);
+    point.gain_dps = run_pair_gain(dps, wave, partner, base_a, base_b,
+                                   &point.high_freq_share, &dps);
+    return point;
+  });
 
-    table.add_row({format_double(period, 0), format_double(hf_share, 2),
-                   dps::bench::percent(slurm_gain),
-                   dps::bench::percent(dps_gain)});
-    csv.write_row({format_double(period, 0), format_double(hf_share, 4),
-                   format_double(slurm_gain, 4), format_double(dps_gain, 4)});
+  for (std::size_t i = 0; i < periods.size(); ++i) {
+    const auto& point = points[i];
+    table.add_row({format_double(periods[i], 0),
+                   format_double(point.high_freq_share, 2),
+                   dps::bench::percent(point.gain_slurm),
+                   dps::bench::percent(point.gain_dps)});
+    csv.write_row({format_double(periods[i], 0),
+                   format_double(point.high_freq_share, 4),
+                   format_double(point.gain_slurm, 4),
+                   format_double(point.gain_dps, 4)});
   }
   table.print();
 

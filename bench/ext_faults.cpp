@@ -128,10 +128,6 @@ int main() {
   Table table({"level", "manager", "norm perf", "lost runs", "faults",
                "faulted [s]", "overshoot [Ws]", "recovery [s]"});
 
-  ConstantManager constant_baseline;
-  const Run clean_constant =
-      run_level(constant_baseline, a, b, 0.0, repeats, seed);
-
   struct Entry {
     const char* name;
     std::unique_ptr<PowerManager> (*make)();
@@ -154,12 +150,27 @@ int main() {
                       },
                       {}});
 
+  // Every (level, manager) run — plus the fault-free constant reference —
+  // faces its own deterministic fault plan and manager instance, so the
+  // whole grid fans out as one sweep; the serial pass below then replays
+  // the original reporting order over the collected runs.
+  ConstantManager constant_baseline;
+  const Run clean_constant =
+      run_level(constant_baseline, a, b, 0.0, repeats, seed);
+  const auto runs =
+      sweep_ordered(levels.size() * managers.size(), [&](std::size_t i) {
+        const double level = levels[i / managers.size()];
+        auto manager = managers[i % managers.size()].make();
+        return run_level(*manager, a, b, level, repeats, seed);
+      });
+
   double dps_norm_at_faults = 0.0, slurm_norm_at_faults = 0.0;
   int faulted_levels = 0;
-  for (const double level : levels) {
-    for (auto& entry : managers) {
-      auto manager = entry.make();
-      const Run run = run_level(*manager, a, b, level, repeats, seed);
+  for (std::size_t li = 0; li < levels.size(); ++li) {
+    const double level = levels[li];
+    for (std::size_t mi = 0; mi < managers.size(); ++mi) {
+      auto& entry = managers[mi];
+      const Run& run = runs[li * managers.size() + mi];
       if (level <= 0.0) entry.clean = run;
 
       // Normalized performance of each workload vs the fault-free constant

@@ -41,14 +41,20 @@ int main() {
   Table table({"pair", "slurm", "feedback", "dps", "fair slurm",
                "fair fb", "fair dps"});
   std::vector<double> slurm_gains, feedback_gains, dps_gains;
-  for (const auto& [a_name, b_name] : pairs) {
-    const auto a = workload_by_name(a_name);
-    const auto b = workload_by_name(b_name);
+
+  const ManagerKind kinds[3] = {ManagerKind::kSlurm, ManagerKind::kFeedback,
+                                ManagerKind::kDps};
+  const auto outcomes = sweep_ordered(pairs.size() * 3, [&](std::size_t i) {
+    const auto& [a_name, b_name] = pairs[i / 3];
+    return runner.run_pair(workload_by_name(a_name), workload_by_name(b_name),
+                           kinds[i % 3]);
+  });
+
+  for (std::size_t p = 0; p < pairs.size(); ++p) {
+    const auto& [a_name, b_name] = pairs[p];
     double gain[3] = {0, 0, 0}, fair[3] = {0, 0, 0};
-    const ManagerKind kinds[3] = {ManagerKind::kSlurm, ManagerKind::kFeedback,
-                                  ManagerKind::kDps};
     for (int k = 0; k < 3; ++k) {
-      const auto outcome = runner.run_pair(a, b, kinds[k]);
+      const auto& outcome = outcomes[p * 3 + static_cast<std::size_t>(k)];
       gain[k] = outcome.pair_hmean;
       fair[k] = outcome.fairness;
       csv.write_row({a_name + "+" + b_name, to_string(kinds[k]),

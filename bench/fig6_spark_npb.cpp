@@ -32,9 +32,9 @@ int main() {
 
   std::printf(
       "Figure 6 reproduction: Spark x NPB group, %zu x %zu = %zu pairs "
-      "(repeats=%d).\n\n",
+      "(repeats=%d, jobs=%d).\n\n",
       spark_names.size(), npb.size(), spark_names.size() * npb.size(),
-      runner.params().repeats);
+      runner.params().repeats, sweep_jobs());
 
   CsvWriter csv(dps::bench::out_dir() + "/fig6_spark_npb.csv");
   csv.write_header({"spark", "npb", "manager", "spark_speedup", "npb_speedup",
@@ -48,27 +48,43 @@ int main() {
   std::map<std::string, std::vector<double>> by_npb_slurm, by_npb_dps;
   std::vector<double> advantage;  // dps pair hmean / slurm pair hmean
 
+  // Task list in the historical serial iteration order; the parallel sweep
+  // returns outcomes in exactly this order, so the CSV below is
+  // byte-identical at any DPS_JOBS.
+  struct Task {
+    std::string spark, npb;
+    ManagerKind kind;
+  };
+  std::vector<Task> tasks;
   for (const auto& spark_name : spark_names) {
-    const auto spark = spark_workload(spark_name);
     for (const auto& npb_name : npb) {
-      const auto hpc = npb_workload(npb_name);
-      Cell cell;
       for (const auto kind : {ManagerKind::kSlurm, ManagerKind::kDps}) {
-        const auto outcome = runner.run_pair(spark, hpc, kind);
-        (kind == ManagerKind::kSlurm ? cell.slurm : cell.dps) =
-            outcome.pair_hmean;
-        csv.write_row({spark_name, npb_name, to_string(kind),
-                       format_double(outcome.a.speedup, 4),
-                       format_double(outcome.b.speedup, 4),
-                       format_double(outcome.pair_hmean, 4),
-                       format_double(outcome.fairness, 4)});
+        tasks.push_back({spark_name, npb_name, kind});
       }
-      by_spark_slurm[spark_name].push_back(cell.slurm);
-      by_spark_dps[spark_name].push_back(cell.dps);
-      by_npb_slurm[npb_name].push_back(cell.slurm);
-      by_npb_dps[npb_name].push_back(cell.dps);
-      advantage.push_back(cell.dps / cell.slurm);
     }
+  }
+  const auto outcomes = sweep_ordered(tasks.size(), [&](std::size_t i) {
+    const auto& task = tasks[i];
+    return runner.run_pair(spark_workload(task.spark),
+                           npb_workload(task.npb), task.kind);
+  });
+
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    const auto& task = tasks[i];
+    const auto& outcome = outcomes[i];
+    csv.write_row({task.spark, task.npb, to_string(task.kind),
+                   format_double(outcome.a.speedup, 4),
+                   format_double(outcome.b.speedup, 4),
+                   format_double(outcome.pair_hmean, 4),
+                   format_double(outcome.fairness, 4)});
+    if (task.kind != ManagerKind::kDps) continue;
+    // Tasks come in (slurm, dps) adjacent pairs; fold each completed pair.
+    const Cell cell{outcomes[i - 1].pair_hmean, outcome.pair_hmean};
+    by_spark_slurm[task.spark].push_back(cell.slurm);
+    by_spark_dps[task.spark].push_back(cell.dps);
+    by_npb_slurm[task.npb].push_back(cell.slurm);
+    by_npb_dps[task.npb].push_back(cell.dps);
+    advantage.push_back(cell.dps / cell.slurm);
   }
 
   std::printf("(a) pair hmean gain grouped by Spark workload:\n");

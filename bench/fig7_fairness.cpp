@@ -39,11 +39,21 @@ GroupResult run_group(
     const std::vector<std::pair<std::string, std::string>>& pairs,
     CsvWriter& csv, const char* group_name) {
   GroupResult result;
-  for (const auto& [a_name, b_name] : pairs) {
-    const auto a = workload_by_name(a_name);
-    const auto b = workload_by_name(b_name);
-    const auto slurm = runner.run_pair(a, b, ManagerKind::kSlurm);
-    const auto dps = runner.run_pair(a, b, ManagerKind::kDps);
+  // Both managers of one pair form a single sweep task; the ordered sweep
+  // hands results back in pair order, so the CSV matches the serial run.
+  struct PairOutcomes {
+    PairOutcome slurm, dps;
+  };
+  const auto outcomes = sweep_ordered(pairs.size(), [&](std::size_t i) {
+    const auto a = workload_by_name(pairs[i].first);
+    const auto b = workload_by_name(pairs[i].second);
+    return PairOutcomes{runner.run_pair(a, b, ManagerKind::kSlurm),
+                        runner.run_pair(a, b, ManagerKind::kDps)};
+  });
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    const auto& [a_name, b_name] = pairs[i];
+    const auto& slurm = outcomes[i].slurm;
+    const auto& dps = outcomes[i].dps;
     result.slurm_fairness.push_back(slurm.fairness);
     result.dps_fairness.push_back(dps.fairness);
     result.slurm_pair.push_back(slurm.pair_hmean);

@@ -55,17 +55,28 @@ int main() {
   csv.write_header({"workload", "power_type", "duration_s", "paper_duration_s",
                     "above_110_frac", "paper_above_110_frac"});
 
-  for (const auto& spec : spark_suite()) {
+  const auto suite = spark_suite();
+  struct Row {
+    double duration = 0.0;
+    double above = 0.0;
+  };
+  const auto rows = sweep_ordered(suite.size(), [&](std::size_t i) {
+    return Row{runner.baseline_hmean(suite[i]),
+               measured_fraction_above(suite[i], 110.0)};
+  });
+
+  for (std::size_t i = 0; i < suite.size(); ++i) {
+    const auto& spec = suite[i];
     const auto paper = spark_paper_stats(spec.name);
-    const double duration = runner.baseline_hmean(spec);
-    const double above = measured_fraction_above(spec, 110.0);
     table.add_row({spec.name, to_string(spec.power_type),
-                   format_double(duration, 1), format_double(paper.duration, 1),
-                   format_double(above * 100.0, 2) + "%",
+                   format_double(rows[i].duration, 1),
+                   format_double(paper.duration, 1),
+                   format_double(rows[i].above * 100.0, 2) + "%",
                    format_double(paper.above_110_fraction * 100.0, 2) + "%"});
     csv.write_row({spec.name, to_string(spec.power_type),
-                   format_double(duration, 2), format_double(paper.duration, 2),
-                   format_double(above, 4),
+                   format_double(rows[i].duration, 2),
+                   format_double(paper.duration, 2),
+                   format_double(rows[i].above, 4),
                    format_double(paper.above_110_fraction, 4)});
   }
   table.print();

@@ -50,17 +50,26 @@ int main() {
   csv.write_header(
       {"workload", "duration_s", "paper_duration_s", "above_110_frac"});
 
-  for (const auto& spec : npb_suite()) {
+  const auto suite = npb_suite();
+  struct Row {
+    double duration = 0.0;
+    double above = 0.0;
+  };
+  const auto rows = sweep_ordered(suite.size(), [&](std::size_t i) {
+    return Row{runner.baseline_hmean(suite[i]),
+               measured_fraction_above(suite[i], 110.0)};
+  });
+
+  for (std::size_t i = 0; i < suite.size(); ++i) {
+    const auto& spec = suite[i];
     const auto paper = npb_paper_stats(spec.name);
-    const double duration = runner.baseline_hmean(spec);
-    const double above = measured_fraction_above(spec, 110.0);
-    table.add_row({spec.name, format_double(duration, 1),
+    table.add_row({spec.name, format_double(rows[i].duration, 1),
                    format_double(paper.duration, 1),
-                   format_double(above * 100.0, 1) + "%",
+                   format_double(rows[i].above * 100.0, 1) + "%",
                    format_double(paper.above_110_fraction * 100.0, 1) + "%"});
-    csv.write_row({spec.name, format_double(duration, 2),
+    csv.write_row({spec.name, format_double(rows[i].duration, 2),
                    format_double(paper.duration, 2),
-                   format_double(above, 4)});
+                   format_double(rows[i].above, 4)});
   }
   table.print();
   std::printf("\nAll NPB workloads draw high power essentially all the time\n"

@@ -102,6 +102,7 @@ PairOutcome PairRunner::run_pair(const WorkloadSpec& a, const WorkloadSpec& b,
       params_.budget_per_socket * cluster.total_units();
   engine_config.target_completions = params_.repeats;
   engine_config.max_time = time_bound(a, b, params_.repeats);
+  engine_config.obs = params_.obs;
 
   const auto manager = make_manager(kind, params_, &cluster);
   const auto result =
@@ -133,6 +134,7 @@ PairOutcome PairRunner::run_pair(const WorkloadSpec& a, const WorkloadSpec& b,
   outcome.pair_hmean = pair_hmean(outcome.a.speedup, outcome.b.speedup);
   outcome.peak_cap_sum = result.peak_cap_sum;
   outcome.simulated_time = result.elapsed;
+  outcome.steps = result.steps;
   return outcome;
 }
 
@@ -156,6 +158,7 @@ PairRunner::SoloStats PairRunner::solo_run(const WorkloadSpec& spec,
   engine_config.max_time =
       200.0 + 4.0 * (spec.nominal_duration() + spec.inter_run_gap) *
                   params_.repeats;
+  engine_config.obs = params_.obs;
 
   ConstantManager constant;
   const auto result =
@@ -174,25 +177,28 @@ PairRunner::SoloStats PairRunner::solo_run(const WorkloadSpec& spec,
   return stats;
 }
 
-const PairRunner::SoloStats& PairRunner::baseline(const WorkloadSpec& spec) {
-  auto it = baseline_cache_.find(spec.name);
-  if (it == baseline_cache_.end()) {
-    it = baseline_cache_
-             .emplace(spec.name, solo_run(spec, params_.budget_per_socket))
-             .first;
+const PairRunner::SoloStats& PairRunner::cached_solo(
+    SoloCache& cache, const WorkloadSpec& spec, Watts cap_per_socket) {
+  SoloCacheEntry* entry;
+  {
+    // Registration is cheap and serialized; the simulation below is not
+    // and runs outside the lock, guarded per-entry by its once-flag.
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    entry = cache.try_emplace(spec.name, std::make_unique<SoloCacheEntry>())
+                .first->second.get();
   }
-  return it->second;
+  std::call_once(entry->once,
+                 [&] { entry->stats = solo_run(spec, cap_per_socket); });
+  return entry->stats;
+}
+
+const PairRunner::SoloStats& PairRunner::baseline(const WorkloadSpec& spec) {
+  return cached_solo(baseline_cache_, spec, params_.budget_per_socket);
 }
 
 const PairRunner::SoloStats& PairRunner::uncapped(const WorkloadSpec& spec) {
-  auto it = uncapped_cache_.find(spec.name);
-  if (it == uncapped_cache_.end()) {
-    // Caps at TDP never bind, so this measures raw demand.
-    RaplSimConfig defaults;
-    it = uncapped_cache_.emplace(spec.name, solo_run(spec, defaults.tdp))
-             .first;
-  }
-  return it->second;
+  // Caps at TDP never bind, so this measures raw demand.
+  return cached_solo(uncapped_cache_, spec, RaplSimConfig{}.tdp);
 }
 
 double PairRunner::baseline_hmean(const WorkloadSpec& spec) {

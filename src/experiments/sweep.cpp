@@ -1,0 +1,23 @@
+#include "experiments/sweep.hpp"
+
+#include <thread>
+
+#include "util/env.hpp"
+#include "util/rng.hpp"
+
+namespace dps {
+
+int sweep_jobs() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  const long fallback = hw > 0 ? static_cast<long>(hw) : 1;
+  const long jobs = env_int("DPS_JOBS", fallback);
+  return jobs < 1 ? 1 : static_cast<int>(jobs);
+}
+
+std::uint64_t task_seed(std::uint64_t base, std::uint64_t index) {
+  // Salted so task 0 of a sweep never collides with the base seed itself
+  // (benches feed the base seed to PairRunner directly).
+  return mix_seed(base, index, 0x5157eeb0a8250137ULL);
+}
+
+}  // namespace dps

@@ -43,11 +43,16 @@ EngineResult SimulationEngine::run(Cluster& cluster, SimulatedRapl& rapl,
   std::vector<Watts> measured(static_cast<std::size_t>(n), 0.0);
   std::vector<Watts> true_power(static_cast<std::size_t>(n), 0.0);
   std::vector<Watts> demands(static_cast<std::size_t>(n), 0.0);
+  std::vector<Watts> effective(static_cast<std::size_t>(n), 0.0);
 
   EngineResult result;
   if (config_.record_trace) {
     result.trace = std::make_shared<TraceRecorder>(n);
   }
+  // The manager's concrete type is fixed for the whole run; resolving the
+  // DPS priority view once here keeps the dynamic_cast out of the
+  // decision loop (it only feeds the optional trace).
+  const auto* dps_view = dynamic_cast<const DpsManager*>(&manager);
 
   // Job-stream mode: the scheduling runtime owns arrivals, the queue, and
   // placements; the cluster must have been built in job mode so it exposes
@@ -145,7 +150,6 @@ EngineResult SimulationEngine::run(Cluster& cluster, SimulatedRapl& rapl,
     }
 
     // Advance the system one period under the currently enforced caps.
-    std::vector<Watts> effective(static_cast<std::size_t>(n));
     for (int u = 0; u < n; ++u) effective[u] = rapl.effective_cap(u);
     cluster.true_demands(demands);
     cluster.step(config_.dt, effective, true_power);
@@ -196,10 +200,9 @@ EngineResult SimulationEngine::run(Cluster& cluster, SimulatedRapl& rapl,
 
     if (result.trace) {
       // The artifact logs each unit's DPS priority at every decision.
-      const auto* dps = dynamic_cast<const DpsManager*>(&manager);
       for (int u = 0; u < n; ++u) {
         const int priority =
-            dps ? (dps->priorities().high_priority(u) ? 1 : 0) : -1;
+            dps_view ? (dps_view->priorities().high_priority(u) ? 1 : 0) : -1;
         result.trace->record(
             u, TraceSample{cluster.now(), true_power[u], measured[u], caps[u],
                            demands[u], priority});

@@ -1,0 +1,44 @@
+#include "util/thread_pool.hpp"
+
+#include <stdexcept>
+
+namespace dps {
+
+ThreadPool::ThreadPool(int threads) {
+  if (threads < 1) {
+    throw std::invalid_argument("ThreadPool: need at least one thread");
+  }
+  workers_.reserve(static_cast<std::size_t>(threads));
+  for (int i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      // Drain-then-stop: shutdown never abandons a submitted task, so
+      // every future handed out by submit() eventually becomes ready.
+      if (queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    // packaged_task captures any exception into the future; nothing
+    // escapes into the worker loop.
+    task();
+  }
+}
+
+}  // namespace dps

@@ -1,0 +1,68 @@
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace dps {
+
+/// Fixed-size worker pool used by the experiment sweep layer
+/// (experiments/sweep.hpp). Deliberately minimal — no work stealing, no
+/// priorities, no resizing: tasks are executed in FIFO submission order by
+/// whichever worker frees up first, and each task's result (or exception)
+/// travels through the std::future returned by submit(). Determinism of a
+/// sweep therefore never depends on the pool: tasks must be independent,
+/// and callers that need ordered output collect the futures in submission
+/// order (sweep_ordered does exactly that).
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers. Throws std::invalid_argument on threads < 1.
+  explicit ThreadPool(int threads);
+
+  /// Drains the queue: every task submitted before destruction runs to
+  /// completion (so no future is ever abandoned), then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int size() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueues `fn` and returns the future of its result. The task body may
+  /// throw; the exception is captured and rethrown by future::get().
+  template <typename Fn>
+  auto submit(Fn&& fn) -> std::future<std::invoke_result_t<std::decay_t<Fn>&>> {
+    using Result = std::invoke_result_t<std::decay_t<Fn>&>;
+    // packaged_task is move-only; std::function requires copyable targets,
+    // so the task rides behind a shared_ptr.
+    auto task = std::make_shared<std::packaged_task<Result()>>(
+        std::forward<Fn>(fn));
+    std::future<Result> future = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stopping_) {
+        throw std::logic_error("ThreadPool::submit: pool is shutting down");
+      }
+      queue_.emplace_back([task]() { (*task)(); });
+    }
+    cv_.notify_one();
+    return future;
+  }
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+}  // namespace dps

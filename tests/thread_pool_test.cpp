@@ -1,0 +1,150 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <latch>
+#include <memory>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "util/thread_pool.hpp"
+
+namespace dps {
+namespace {
+
+TEST(ThreadPool, RejectsZeroThreads) {
+  EXPECT_THROW(ThreadPool{0}, std::invalid_argument);
+  EXPECT_THROW(ThreadPool{-3}, std::invalid_argument);
+}
+
+TEST(ThreadPool, ReportsSize) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.size(), 3);
+}
+
+TEST(ThreadPool, FuturesDeliverResultsForEveryTask) {
+  ThreadPool pool(4);
+  std::vector<std::future<int>> futures;
+  for (int i = 0; i < 100; ++i) {
+    futures.push_back(pool.submit([i] { return i * i; }));
+  }
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(futures[static_cast<std::size_t>(i)].get(), i * i);
+  }
+}
+
+TEST(ThreadPool, CollectingFuturesInSubmissionOrderIsDeterministic) {
+  // The sweep layer's ordering contract: regardless of which worker runs
+  // which task, futures collected in submission order reproduce the serial
+  // result sequence.
+  ThreadPool pool(8);
+  std::vector<std::future<int>> futures;
+  for (int i = 0; i < 64; ++i) {
+    futures.push_back(pool.submit([i] {
+      // Perturb completion order on purpose.
+      std::this_thread::sleep_for(std::chrono::microseconds((64 - i) * 10));
+      return i;
+    }));
+  }
+  std::vector<int> collected;
+  for (auto& future : futures) collected.push_back(future.get());
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_EQ(collected[static_cast<std::size_t>(i)], i);
+  }
+}
+
+TEST(ThreadPool, ExceptionPropagatesThroughFuture) {
+  ThreadPool pool(2);
+  auto ok = pool.submit([] { return 7; });
+  auto boom = pool.submit([]() -> int {
+    throw std::runtime_error("task exploded");
+  });
+  EXPECT_EQ(ok.get(), 7);
+  EXPECT_THROW(boom.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, ExceptionInOneTaskDoesNotPoisonOthers) {
+  ThreadPool pool(2);
+  std::vector<std::future<int>> futures;
+  for (int i = 0; i < 20; ++i) {
+    futures.push_back(pool.submit([i]() -> int {
+      if (i % 5 == 0) throw std::runtime_error("every fifth");
+      return i;
+    }));
+  }
+  int succeeded = 0, failed = 0;
+  for (int i = 0; i < 20; ++i) {
+    try {
+      EXPECT_EQ(futures[static_cast<std::size_t>(i)].get(), i);
+      ++succeeded;
+    } catch (const std::runtime_error&) {
+      ++failed;
+    }
+  }
+  EXPECT_EQ(succeeded, 16);
+  EXPECT_EQ(failed, 4);
+}
+
+TEST(ThreadPool, AllWorkersRunConcurrently) {
+  // A latch that only opens once every worker holds a task proves the pool
+  // really runs `size` tasks at once (a serial or undersized pool would
+  // deadlock here — bounded by the gtest timeout).
+  constexpr int kThreads = 4;
+  ThreadPool pool(kThreads);
+  std::latch all_started(kThreads);
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < kThreads; ++i) {
+    futures.push_back(pool.submit([&all_started] {
+      all_started.arrive_and_wait();
+    }));
+  }
+  for (auto& future : futures) future.get();
+}
+
+TEST(ThreadPool, ShutdownUnderLoadDrainsEveryTask) {
+  // Destroy the pool while tasks are still queued: every future must still
+  // become ready (the destructor drains instead of dropping).
+  std::atomic<int> executed{0};
+  std::vector<std::future<int>> futures;
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 200; ++i) {
+      futures.push_back(pool.submit([i, &executed] {
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+        executed.fetch_add(1, std::memory_order_relaxed);
+        return i;
+      }));
+    }
+  }  // ~ThreadPool joins here
+  EXPECT_EQ(executed.load(), 200);
+  for (int i = 0; i < 200; ++i) {
+    auto& future = futures[static_cast<std::size_t>(i)];
+    ASSERT_EQ(future.wait_for(std::chrono::seconds(0)),
+              std::future_status::ready);
+    EXPECT_EQ(future.get(), i);
+  }
+}
+
+TEST(ThreadPool, SubmitFromManyThreads) {
+  // Producers on several threads share one pool; all tasks complete and
+  // none is lost or double-run.
+  ThreadPool pool(3);
+  std::atomic<int> total{0};
+  std::vector<std::thread> producers;
+  for (int t = 0; t < 4; ++t) {
+    producers.emplace_back([&pool, &total] {
+      std::vector<std::future<void>> futures;
+      for (int i = 0; i < 50; ++i) {
+        futures.push_back(pool.submit(
+            [&total] { total.fetch_add(1, std::memory_order_relaxed); }));
+      }
+      for (auto& future : futures) future.get();
+    });
+  }
+  for (auto& producer : producers) producer.join();
+  EXPECT_EQ(total.load(), 200);
+}
+
+}  // namespace
+}  // namespace dps
