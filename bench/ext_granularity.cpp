@@ -93,17 +93,28 @@ int main() {
       "/ 5 units\n(Kmeans + GMM; gains vs constant allocation at the same "
       "granularity).\n\n");
 
-  ConstantManager constant;
-  const auto base = run_at_granularity(constant, 1, repeats);
+  // Task 0 is the constant baseline, tasks 1..3 the DPS runs at socket /
+  // node / chassis granularity. Each task owns a private manager, so the
+  // sweep is task-pure and the CSV is byte-identical at any DPS_JOBS.
+  const std::vector<int> spus = {1, 2, 4};
+  const auto results = sweep_ordered(spus.size() + 1, [&](std::size_t i) {
+    if (i == 0) {
+      ConstantManager constant;
+      return run_at_granularity(constant, 1, repeats);
+    }
+    DpsManager dps;
+    return run_at_granularity(dps, spus[i - 1], repeats);
+  });
+  const GranularityResult& base = results[0];
 
   CsvWriter csv(dps::bench::out_dir() + "/ext_granularity.csv");
   csv.write_header({"sockets_per_unit", "units", "pair_gain"});
 
   Table table({"granularity", "units", "Kmeans gain", "GMM gain",
                "pair gain"});
-  for (const int spu : {1, 2, 4}) {
-    DpsManager dps;
-    const auto result = run_at_granularity(dps, spu, repeats);
+  for (std::size_t i = 0; i < spus.size(); ++i) {
+    const int spu = spus[i];
+    const GranularityResult& result = results[i + 1];
     const double gain_a = base.hmean_a / result.hmean_a;
     const double gain_b = base.hmean_b / result.hmean_b;
     const double pair = pair_hmean(gain_a, gain_b);

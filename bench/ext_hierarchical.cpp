@@ -10,8 +10,16 @@
 /// Expected: hierarchical beats flat SLURM when aligned (the global level
 /// is demand-proportional, which stateless MIMD is not) but degrades when
 /// misaligned; DPS stays on top in both cases.
+///
+/// Naming note: HierarchicalManager (src/managers/hierarchical.hpp) is
+/// this *manager policy* — the Argo-style heuristic evaluated here as a
+/// baseline. It is unrelated to the hierarchical *control plane* of
+/// src/ctrl/, which shards the fleet across controller processes and is
+/// benchmarked by ext_scale; see docs/architecture.md ("Hierarchical
+/// control plane") for the distinction.
 
 #include <cstdio>
+#include <memory>
 #include <vector>
 
 #include "bench_common.hpp"
@@ -71,39 +79,61 @@ int main() {
 
   const auto a = workload_by_name("Kmeans");
   const auto b = workload_by_name("GMM");
-  const double base_a = solo_baseline(a, 71, repeats);
-  const double base_b = solo_baseline(b, 72, repeats);
+
+  // The two solo baselines are independent — one sweep task each.
+  const auto bases = sweep_ordered(2, [&](std::size_t i) {
+    return i == 0 ? solo_baseline(a, 71, repeats)
+                  : solo_baseline(b, 72, repeats);
+  });
+  const double base_a = bases[0];
+  const double base_b = bases[1];
 
   std::printf(
       "Extension: Argo-style two-level hierarchy vs flat managers\n"
       "(Kmeans + GMM, pair hmean gain vs constant allocation).\n\n");
 
-  CsvWriter csv(dps::bench::out_dir() + "/ext_hierarchical.csv");
-  csv.write_header({"manager", "pair_gain"});
-
-  Table table({"manager", "pair gain"});
-  auto row = [&](const char* label, double gain) {
-    table.add_row({label, dps::bench::percent(gain)});
-    csv.write_row({label, format_double(gain, 4)});
+  // Each task owns a private manager instance (managers are stateful), so
+  // the sweep is task-pure and the CSV below is byte-identical at any
+  // DPS_JOBS.
+  struct Run {
+    const char* label;
+    std::unique_ptr<PowerManager> (*make)();
+  };
+  const std::vector<Run> runs = {
+      {"slurm (flat)",
+       []() -> std::unique_ptr<PowerManager> {
+         return std::make_unique<SlurmStatelessManager>();
+       }},
+      {"hierarchical (aligned, 2x10)",
+       []() -> std::unique_ptr<PowerManager> {
+         HierarchicalConfig aligned;
+         aligned.units_per_enclave = 10;  // enclaves == the two clusters
+         return std::make_unique<HierarchicalManager>(aligned);
+       }},
+      {"hierarchical (misaligned, 5x4)",
+       []() -> std::unique_ptr<PowerManager> {
+         HierarchicalConfig misaligned;
+         misaligned.units_per_enclave = 4;  // 5 enclaves across clusters
+         return std::make_unique<HierarchicalManager>(misaligned);
+       }},
+      {"dps (flat)",
+       []() -> std::unique_ptr<PowerManager> {
+         return std::make_unique<DpsManager>();
+       }},
   };
 
-  SlurmStatelessManager slurm;
-  row("slurm (flat)", pair_gain(slurm, a, b, base_a, base_b, repeats));
+  const auto gains = sweep_ordered(runs.size(), [&](std::size_t i) {
+    const auto manager = runs[i].make();
+    return pair_gain(*manager, a, b, base_a, base_b, repeats);
+  });
 
-  HierarchicalConfig aligned;
-  aligned.units_per_enclave = 10;  // enclaves == the two clusters
-  HierarchicalManager hier_aligned(aligned);
-  row("hierarchical (aligned, 2x10)",
-      pair_gain(hier_aligned, a, b, base_a, base_b, repeats));
-
-  HierarchicalConfig misaligned;
-  misaligned.units_per_enclave = 4;  // 5 enclaves cutting across clusters
-  HierarchicalManager hier_misaligned(misaligned);
-  row("hierarchical (misaligned, 5x4)",
-      pair_gain(hier_misaligned, a, b, base_a, base_b, repeats));
-
-  DpsManager dps;
-  row("dps (flat)", pair_gain(dps, a, b, base_a, base_b, repeats));
+  CsvWriter csv(dps::bench::out_dir() + "/ext_hierarchical.csv");
+  csv.write_header({"manager", "pair_gain"});
+  Table table({"manager", "pair gain"});
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    table.add_row({runs[i].label, dps::bench::percent(gains[i])});
+    csv.write_row({runs[i].label, format_double(gains[i], 4)});
+  }
   table.print();
 
   std::printf(

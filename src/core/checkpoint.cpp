@@ -92,11 +92,23 @@ ControlCheckpoint decode_checkpoint(std::span<const std::uint8_t> payload) {
 
 void write_checkpoint_file(const std::string& path,
                            const ControlCheckpoint& ckpt) {
-  const std::vector<std::uint8_t> payload = encode_checkpoint(ckpt);
+  write_framed_file(path, kMagic, kFormatVersion, encode_checkpoint(ckpt));
+}
 
+ControlCheckpoint read_checkpoint_file(const std::string& path) {
+  return decode_checkpoint(read_framed_file(path, kMagic, kFormatVersion));
+}
+
+void write_framed_file(const std::string& path,
+                       std::span<const std::uint8_t> magic8,
+                       std::uint32_t version,
+                       std::span<const std::uint8_t> payload) {
+  if (magic8.size() != 8) {
+    throw std::runtime_error("framed file magic must be 8 bytes");
+  }
   ByteWriter framed;
-  for (const std::uint8_t byte : kMagic) framed.u8(byte);
-  framed.u32(kFormatVersion);
+  for (const std::uint8_t byte : magic8) framed.u8(byte);
+  framed.u32(version);
   framed.u32(crc32(payload));
   framed.u64(payload.size());
   const std::vector<std::uint8_t>& header = framed.bytes();
@@ -123,7 +135,12 @@ void write_checkpoint_file(const std::string& path,
   }
 }
 
-ControlCheckpoint read_checkpoint_file(const std::string& path) {
+std::vector<std::uint8_t> read_framed_file(
+    const std::string& path, std::span<const std::uint8_t> magic8,
+    std::uint32_t expected_version) {
+  if (magic8.size() != 8) {
+    throw std::runtime_error("framed file magic must be 8 bytes");
+  }
   std::FILE* f = std::fopen(path.c_str(), "rb");
   if (f == nullptr) {
     throw std::runtime_error("cannot open checkpoint file: " + path);
@@ -147,12 +164,12 @@ ControlCheckpoint read_checkpoint_file(const std::string& path) {
   }
   for (auto& byte : magic) byte = in.u8();
   for (std::size_t i = 0; i < sizeof(magic); ++i) {
-    if (magic[i] != kMagic[i]) {
+    if (magic[i] != magic8[i]) {
       throw std::runtime_error("bad checkpoint magic: " + path);
     }
   }
   const std::uint32_t version = in.u32();
-  if (version != kFormatVersion) {
+  if (version != expected_version) {
     throw std::runtime_error("unsupported checkpoint version " +
                              std::to_string(version) + ": " + path);
   }
@@ -168,7 +185,7 @@ ControlCheckpoint read_checkpoint_file(const std::string& path) {
     throw std::runtime_error("checkpoint CRC mismatch (corrupt file): " +
                              path);
   }
-  return decode_checkpoint(payload);
+  return std::vector<std::uint8_t>(payload.begin(), payload.end());
 }
 
 }  // namespace dps

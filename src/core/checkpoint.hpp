@@ -57,4 +57,19 @@ void write_checkpoint_file(const std::string& path,
 /// truncation, or CRC mismatch.
 ControlCheckpoint read_checkpoint_file(const std::string& path);
 
+/// The generic layer under write/read_checkpoint_file, for other snapshot
+/// kinds that want the same durability guarantees (the ctrl/ aggregator's
+/// tree snapshots): atomic tmp+rename write of `magic8` (exactly 8 bytes),
+/// a u32 version, the payload's CRC-32 and length, then the payload.
+void write_framed_file(const std::string& path,
+                       std::span<const std::uint8_t> magic8,
+                       std::uint32_t version,
+                       std::span<const std::uint8_t> payload);
+
+/// Reads a file written by write_framed_file, validating magic, version
+/// and CRC. Throws std::runtime_error naming the failure and the path.
+std::vector<std::uint8_t> read_framed_file(const std::string& path,
+                                           std::span<const std::uint8_t> magic8,
+                                           std::uint32_t expected_version);
+
 }  // namespace dps

@@ -43,6 +43,11 @@ namespace dps {
 ///
 /// Throws std::runtime_error on parse failures; unknown keys are ignored
 /// (forward compatibility).
+///
+/// Other subsystems own their sections in the same file: [net] is parsed
+/// by src/net/net_config, [ctrl] (the hierarchical control plane) by
+/// src/ctrl/ctrl_config, [sched] by src/sched/sched_config, [obs] by
+/// src/obs/obs_config, [faults] by src/faults/fault_config.
 DpsConfig dps_config_from_ini(const IniFile& ini);
 DpsConfig dps_config_from_file(const std::string& path);
 

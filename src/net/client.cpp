@@ -119,11 +119,12 @@ void NodeClient::connect(std::uint16_t port, const std::string& host) {
     const int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
 
-    // Hello handshake: request our old slot back on a reconnect, any free
-    // slot on a first connection.
-    const std::uint8_t wanted = unit_id_ >= 0
-                                    ? static_cast<std::uint8_t>(unit_id_)
-                                    : kHelloAnyUnit;
+    // Hello handshake: request our old slot back on a reconnect (or the
+    // configured hint, for a process restarted from a checkpoint), any
+    // free slot on a first connection.
+    const int claim = unit_id_ >= 0 ? unit_id_ : config_.unit_hint;
+    const std::uint8_t wanted =
+        claim >= 0 ? static_cast<std::uint8_t>(claim) : kHelloAnyUnit;
     const auto hello = encode_hello(Hello{kProtocolVersion, wanted});
     WireBytes ack;
     if (!write_all(fd, hello.data(), hello.size()) ||

@@ -27,6 +27,12 @@ struct NodeClientConfig {
   /// at or below the unit's fair share of the budget. 0 disables the
   /// failsafe (the unit keeps its last commanded cap).
   Watts failsafe_cap_w = 0.0;
+  /// Slot to reclaim on the *first* connect (-1: ask for any free slot).
+  /// A restarted process that knows which unit it was — an aggregator
+  /// resuming from a checkpoint (src/ctrl/) — sets this so the parent
+  /// splices it back mid-session instead of treating it as a stranger.
+  /// After the first successful hello the assigned id takes precedence.
+  int unit_hint = -1;
 
   /// Derives the client-side knobs from the shared [net] config.
   static NodeClientConfig from_net(const NetConfig& net,
@@ -76,6 +82,14 @@ class NodeClient {
   /// the connection was lost.
   bool run_round();
 
+  /// What ended (or continued) a round. Callers that must react
+  /// differently to an orderly shutdown and a lost connection — an
+  /// aggregator (src/ctrl/) propagating its parent's shutdown down the
+  /// tree but riding out an uplink outage — use run_round_ex instead of
+  /// the boolean run_round.
+  enum class RoundOutcome { kContinue, kShutdown, kLost };
+  RoundOutcome run_round_ex();
+
   /// Resilient loop: on connection loss (anything but an orderly
   /// kShutdown) the failsafe cap is applied (if configured) and the
   /// client reconnects — reclaiming its unit id — with the configured
@@ -93,8 +107,6 @@ class NodeClient {
   void set_obs(const obs::ObsSink& sink);
 
  private:
-  enum class RoundOutcome { kContinue, kShutdown, kLost };
-  RoundOutcome run_round_ex();
   void close_fd();
   void apply_failsafe();
 

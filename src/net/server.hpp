@@ -97,6 +97,10 @@ class ControlServer {
 
   /// Caps decided in the most recent round (for inspection by tests).
   const std::vector<Watts>& last_caps() const { return caps_; }
+  /// Power reports collected in the most recent round (0 W for dead or
+  /// deadline-missing units) — what an aggregator (src/ctrl/) sums into
+  /// the shard-level report it sends to its parent.
+  const std::vector<Watts>& last_power() const { return power_; }
   /// Last caps actually sent per unit (the wire-dedup baseline); -1 until
   /// a unit has received its first kSetCap. Checkpointed alongside caps.
   const std::vector<Watts>& previous_caps() const { return previous_caps_; }

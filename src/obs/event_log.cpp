@@ -27,6 +27,8 @@ const char* to_string(EventKind kind) {
     case EventKind::kCheckpointWrite: return "checkpoint_write";
     case EventKind::kCheckpointRestore: return "checkpoint_restore";
     case EventKind::kFailsafeCap: return "failsafe_cap";
+    case EventKind::kShardReport: return "shard_report";
+    case EventKind::kShardBudget: return "shard_budget";
   }
   return "unknown";
 }
@@ -41,7 +43,8 @@ bool event_kind_from_string(const std::string& name, EventKind& out) {
         EventKind::kJobEnd, EventKind::kJobRequeue,
         EventKind::kClientTimeout, EventKind::kClientReadmit,
         EventKind::kCheckpointWrite, EventKind::kCheckpointRestore,
-        EventKind::kFailsafeCap}) {
+        EventKind::kFailsafeCap, EventKind::kShardReport,
+        EventKind::kShardBudget}) {
     if (name == to_string(kind)) {
       out = kind;
       return true;

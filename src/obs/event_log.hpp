@@ -71,6 +71,15 @@ enum class EventKind : std::uint8_t {
   /// A client lost the server and self-applied its failsafe cap.
   /// value = the failsafe cap [W].
   kFailsafeCap,
+  /// Control-plane hierarchy (src/ctrl/): an aggregator reported its
+  /// shard's aggregate power upward. unit = the shard's id at the parent
+  /// (-1 before the hello ack), value = aggregate power [W],
+  /// extra = units in the shard.
+  kShardReport,
+  /// Control-plane hierarchy: a shard's budget was (re)assigned — by the
+  /// parent over the wire, or by the in-sim tree's root level.
+  /// unit = shard index, value = new shard budget [W], extra = old [W].
+  kShardBudget,
 };
 
 /// Stable lower_snake name for CSV / trace exports.

@@ -23,6 +23,8 @@
 #include "core/checkpoint.hpp"
 #include "core/config_io.hpp"
 #include "core/dps_manager.hpp"
+#include "ctrl/aggregator.hpp"
+#include "ctrl/ctrl_config.hpp"
 #include "managers/constant.hpp"
 #include "managers/slurm_stateless.hpp"
 #include "net/net_config.hpp"
@@ -57,6 +59,14 @@ void print_usage() {
       "  --restore          restore state from --checkpoint FILE at start\n"
       "                     and resume the session (units/budget come from\n"
       "                     the snapshot)\n"
+      "  --parent-host H    aggregator mode: report this shard's aggregate\n"
+      "                     to a parent dpsd at H (see docs/deployment.md;\n"
+      "                     the uplink carries per-unit means)\n"
+      "  --parent-port P    parent's TCP port\n"
+      "  --parent-unit U    slot to reclaim at the parent on a restart\n"
+      "                     without --restore                [-1 = any]\n"
+      "                     (in aggregator mode --checkpoint files use the\n"
+      "                     tree snapshot format and also record this slot)\n"
       "  --obs-metrics F    write Prometheus metrics to F on shutdown\n"
       "  --obs-events F     write the event-log CSV to F on shutdown\n"
       "  --obs-trace F      write Chrome trace_event JSON to F on shutdown\n"
@@ -83,6 +93,9 @@ int main(int argc, char** argv) {
   std::string checkpoint_path;
   std::string manager_name = "dps";
   std::string config_path;
+  std::string parent_host;
+  int parent_port = 0;
+  int parent_unit = -2;  // -2: keep the config/default value
   std::string obs_metrics_path, obs_events_path, obs_trace_path;
 
   for (int i = 1; i < argc; ++i) {
@@ -125,6 +138,12 @@ int main(int argc, char** argv) {
       checkpoint_path = argv[i];
     } else if (arg == "--checkpoint-interval" && value()) {
       checkpoint_interval = std::atol(argv[i]);
+    } else if (arg == "--parent-host" && value()) {
+      parent_host = argv[i];
+    } else if (arg == "--parent-port" && value()) {
+      parent_port = std::atoi(argv[i]);
+    } else if (arg == "--parent-unit" && value()) {
+      parent_unit = std::atoi(argv[i]);
     } else if (arg == "--restore") {
       restore = true;
     } else {
@@ -144,12 +163,21 @@ int main(int argc, char** argv) {
     DpsConfig dps_config;
     obs::ObsConfig obs_config;
     NetConfig net_config;
+    CtrlConfig ctrl_config;
     if (!config_path.empty()) {
       const IniFile ini = IniFile::load(config_path);
       dps_config = dps_config_from_ini(ini);
       obs_config = obs::obs_config_from_ini(ini);
       net_config = net_config_from_ini(ini);
+      ctrl_config = ctrl_config_from_ini(ini);
     }
+    // Explicit flags override the [ctrl] section.
+    if (!parent_host.empty()) ctrl_config.parent_host = parent_host;
+    if (parent_port > 0) ctrl_config.parent_port = parent_port;
+    if (parent_unit > -2) ctrl_config.parent_unit = parent_unit;
+    validate_ctrl_config(ctrl_config);
+    const bool aggregator_mode =
+        !ctrl_config.parent_host.empty() && ctrl_config.parent_port != 0;
     // Explicit flags override the [net] section.
     if (round_deadline >= 0.0) net_config.round_deadline_s = round_deadline;
     if (!checkpoint_path.empty()) net_config.checkpoint_path = checkpoint_path;
@@ -195,6 +223,82 @@ int main(int argc, char** argv) {
     std::signal(SIGINT, handle_signal);
     std::signal(SIGTERM, handle_signal);
 
+    ManagerContext ctx;
+    ctx.num_units = units;
+    ctx.total_budget = budget;
+    ctx.tdp = tdp;
+    ctx.min_cap = min_cap;
+    ctx.dt = period;
+
+    if (aggregator_mode) {
+      AggregatorNode aggregator(*manager, ctx, ctrl_config, net_config,
+                                static_cast<std::uint16_t>(port), bind_any);
+      aggregator.set_obs(obs_sink);
+      std::printf(
+          "dpsd[aggregator]: %s manager, %d children, %.0f W initial "
+          "budget, port %u, parent %s:%d\n",
+          manager_name.c_str(), units, budget, aggregator.port(),
+          ctrl_config.parent_host.c_str(), ctrl_config.parent_port);
+      std::printf("dpsd[aggregator]: waiting for %d children...\n", units);
+      aggregator.accept_children();
+      if (restore) {
+        const AggregatorCheckpoint ckpt =
+            read_aggregator_checkpoint_file(net_config.checkpoint_path);
+        aggregator.resume(ckpt);
+        obs_sink.event(obs::EventKind::kCheckpointRestore, -1,
+                       static_cast<double>(ckpt.inner.round));
+        std::printf(
+            "dpsd[aggregator]: restored checkpoint at round %llu "
+            "(parent slot %d), resuming\n",
+            static_cast<unsigned long long>(ckpt.inner.round),
+            ckpt.parent_unit);
+      } else {
+        aggregator.begin();
+      }
+      aggregator.connect_parent();
+      std::printf("dpsd[aggregator]: uplink connected as unit %d\n",
+                  aggregator.parent_unit());
+
+      long rounds = 0;
+      const auto period_duration = std::chrono::duration<double>(period);
+      auto next_tick = std::chrono::steady_clock::now();
+      bool parent_shutdown = false;
+      while (!g_stop && (max_rounds == 0 || rounds < max_rounds)) {
+        parent_shutdown = !aggregator.run_round();
+        ++rounds;
+        if (!net_config.checkpoint_path.empty() &&
+            aggregator.rounds() % net_config.checkpoint_interval_rounds ==
+                0) {
+          const AggregatorCheckpoint ckpt = aggregator.make_checkpoint();
+          write_aggregator_checkpoint_file(net_config.checkpoint_path, ckpt);
+          obs_sink.event(obs::EventKind::kCheckpointWrite, -1,
+                         static_cast<double>(aggregator.rounds()),
+                         static_cast<double>(ckpt.inner.manager_state.size()));
+        }
+        if (parent_shutdown) break;
+        if (rounds % 60 == 0) {
+          std::printf(
+              "dpsd[aggregator]: round %ld, shard %.1f W under %.1f W "
+              "budget, decide %.1f us/round\n",
+              rounds, aggregator.last_aggregate_power(),
+              aggregator.shard_budget(),
+              1e-3 * static_cast<double>(aggregator.decide_ns()) / rounds);
+        }
+        next_tick += std::chrono::duration_cast<
+            std::chrono::steady_clock::duration>(period_duration);
+        std::this_thread::sleep_until(next_tick);
+      }
+
+      std::printf("dpsd[aggregator]: shutting down after %ld rounds%s\n",
+                  rounds, parent_shutdown ? " (parent shutdown)" : "");
+      aggregator.shutdown_children();
+      if (obs_sink.enabled() && obs_config.any_export()) {
+        obs::export_all(obs_sink, obs_config);
+        std::printf("dpsd[aggregator]: observability exports written\n");
+      }
+      return 0;
+    }
+
     ControlServer server(static_cast<std::uint16_t>(port), units, bind_any,
                          net_config);
     server.set_obs(obs_sink);
@@ -204,13 +308,6 @@ int main(int argc, char** argv) {
     std::printf("dpsd: waiting for %d clients...\n", units);
     server.accept_all();
     std::printf("dpsd: all clients connected, starting the decision loop\n");
-
-    ManagerContext ctx;
-    ctx.num_units = units;
-    ctx.total_budget = budget;
-    ctx.tdp = tdp;
-    ctx.min_cap = min_cap;
-    ctx.dt = period;
 
     if (restore) {
       const ControlCheckpoint ckpt =

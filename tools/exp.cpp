@@ -19,6 +19,7 @@
 
 #include "core/config_io.hpp"
 #include "core/dps_manager.hpp"
+#include "ctrl/tree.hpp"
 #include "experiments/pair_runner.hpp"
 #include "net/net_config.hpp"
 #include "obs/obs_config.hpp"
@@ -55,6 +56,10 @@ struct Options {
   double arrival_rate = 5.0;
   int jobs = 40;
   int units = 20;
+  // Hierarchical control plane (src/ctrl/): shard the units and run the
+  // manager per shard under a DPS root tier. 0 = flat (default).
+  int tree_shard = 0;
+  int tree_jobs = 1;
   bool list = false;
   bool help = false;
 
@@ -93,7 +98,13 @@ void print_usage() {
       "  --arrival-rate <r> expected jobs per 1000 s          [5]\n"
       "  --jobs <n>         jobs in the generated stream      [40]\n"
       "  --job-trace <path> replay arrivals from a CSV trace\n"
-      "  --units <n>        power-capping units in the machine [20]\n");
+      "  --units <n>        power-capping units in the machine [20]\n"
+      "\nHierarchical control plane (src/ctrl/, sim form; applies to\n"
+      "job-schedule mode and the --trace/--obs re-run):\n"
+      "  --tree-shard <k>   units per leaf shard; the chosen manager runs\n"
+      "                     per shard under a DPS root tier  [0 = flat]\n"
+      "  --tree-jobs <n>    threads for the leaf decides (decisions are\n"
+      "                     identical at any value)          [1]\n");
 }
 
 std::optional<Options> parse(int argc, char** argv) {
@@ -176,6 +187,14 @@ std::optional<Options> parse(int argc, char** argv) {
       const char* v = next();
       if (!v) return std::nullopt;
       options.units = std::atoi(v);
+    } else if (arg == "--tree-shard") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      options.tree_shard = std::atoi(v);
+    } else if (arg == "--tree-jobs") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      options.tree_jobs = std::atoi(v);
     } else {
       std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
       return std::nullopt;
@@ -210,6 +229,37 @@ ManagerKind manager_kind(const std::string& name) {
   if (name == "oracle") return ManagerKind::kOracle;
   if (name == "dps") return ManagerKind::kDps;
   throw std::invalid_argument("unknown manager: " + name);
+}
+
+/// --tree-shard: the chosen manager becomes the per-shard leaf of a
+/// TreeController whose root tier runs DPS. Returns nullptr when flat.
+std::unique_ptr<PowerManager> make_tree(const Options& options,
+                                        const FileConfig& fc,
+                                        ManagerKind kind) {
+  if (options.tree_shard <= 0) return nullptr;
+  if (kind == ManagerKind::kOracle) {
+    throw std::invalid_argument(
+        "--tree-shard: the oracle needs the global demand view and cannot "
+        "be sharded");
+  }
+  CtrlConfig ctrl;
+  ctrl.shard_size = options.tree_shard;
+  ctrl.leaf_jobs = options.tree_jobs;
+  auto leaf = [kind, dps = fc.dps,
+               slurm = fc.stateless]() -> std::unique_ptr<PowerManager> {
+    switch (kind) {
+      case ManagerKind::kSlurm:
+        return std::make_unique<SlurmStatelessManager>(slurm);
+      case ManagerKind::kConstant:
+        return std::make_unique<ConstantManager>();
+      default:
+        return std::make_unique<DpsManager>(dps);
+    }
+  };
+  auto root = [dps = fc.dps]() -> std::unique_ptr<PowerManager> {
+    return std::make_unique<DpsManager>(dps);
+  };
+  return std::make_unique<TreeController>(ctrl, leaf, root);
 }
 
 void list_workloads() {
@@ -273,6 +323,8 @@ void run_sched_mode(const Options& options, const FileConfig& fc) {
     throw std::invalid_argument(
         "job-schedule mode supports constant | slurm | dps");
   }
+  const auto tree = make_tree(options, fc, kind);
+  if (tree) manager = tree.get();
 
   const bool export_obs = obs_config.enabled && obs_config.any_export();
   const auto result = run_jobs(*manager, config, options.units);
@@ -328,6 +380,12 @@ int main(int argc, char** argv) {
     if (options->sched_mode()) {
       run_sched_mode(*options, fc);
       return 0;
+    }
+    if (options->tree_shard > 0 && !options->trace_path &&
+        !options->obs_enabled()) {
+      throw std::invalid_argument(
+          "--tree-shard applies to job-schedule mode (--sched-policy) or a "
+          "--trace/--obs run; the paper's pair tables are flat-only");
     }
     ExperimentParams params;
     params.repeats = options->repeats;
@@ -403,6 +461,8 @@ int main(int argc, char** argv) {
       if (kind == ManagerKind::kSlurm) manager = &slurm;
       if (kind == ManagerKind::kConstant) manager = &constant;
       if (kind == ManagerKind::kOracle) manager = &oracle;
+      const auto tree = make_tree(*options, fc, kind);
+      if (tree) manager = tree.get();
       const auto result =
           SimulationEngine(config).run(cluster, rapl, *manager);
       if (options->trace_path) {
