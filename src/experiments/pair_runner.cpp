@@ -103,6 +103,7 @@ PairOutcome PairRunner::run_pair(const WorkloadSpec& a, const WorkloadSpec& b,
   engine_config.target_completions = params_.repeats;
   engine_config.max_time = time_bound(a, b, params_.repeats);
   engine_config.obs = params_.obs;
+  engine_config.thermal = params_.thermal;
 
   const auto manager = make_manager(kind, params_, &cluster);
   const auto result =
@@ -135,6 +136,9 @@ PairOutcome PairRunner::run_pair(const WorkloadSpec& a, const WorkloadSpec& b,
   outcome.peak_cap_sum = result.peak_cap_sum;
   outcome.simulated_time = result.elapsed;
   outcome.steps = result.steps;
+  outcome.thermal_throttle_events = result.thermal_throttle_events;
+  outcome.thermal_shed_ws = result.thermal_shed_ws;
+  outcome.peak_temperature_c = result.peak_temperature_c;
   return outcome;
 }
 

@@ -43,6 +43,11 @@ struct ExperimentParams {
   /// Observer is thread-safe (atomic counters, mutexed event ring), so one
   /// enabled sink may be shared by a whole parallel sweep.
   obs::ObsSink obs;
+  /// Optional thermal coupling (src/thermal/). Applied to *paired* runs
+  /// only: the solo baselines stay thermal-free so the satisfaction and
+  /// speedup denominators keep measuring raw demand, and a sweep varying
+  /// the trip point compares managers against one fixed yardstick.
+  std::optional<ThermalConfig> thermal;
 };
 
 /// Per-workload outcome within one pair run.
@@ -67,6 +72,10 @@ struct PairOutcome {
   /// Decision-loop steps the engine executed for this pair run (the unit
   /// the perf-smoke harness rates sweep throughput in).
   int steps = 0;
+  /// Thermal governor ledger (zero unless ExperimentParams::thermal).
+  int thermal_throttle_events = 0;
+  Joules thermal_shed_ws = 0.0;
+  Celsius peak_temperature_c = 0.0;
 };
 
 /// Runs workload pairs under any of the four managers and computes the

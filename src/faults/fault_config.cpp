@@ -25,9 +25,13 @@ FaultPlanConfig fault_plan_config_from_ini(const IniFile& ini) {
   apply_double(ini, "net_connect_refuse_rate", config.net_connect_refuse_rate);
   apply_double(ini, "net_read_stall_rate", config.net_read_stall_rate);
   apply_double(ini, "net_disconnect_rate", config.net_disconnect_rate);
+  apply_double(ini, "fan_degrade_rate", config.fan_degrade_rate);
+  apply_double(ini, "temp_stuck_rate", config.temp_stuck_rate);
   apply_double(ini, "min_duration", config.min_duration);
   apply_double(ini, "max_duration", config.max_duration);
   apply_double(ini, "sag_floor", config.sag_floor);
+  apply_double(ini, "fan_degrade_min", config.fan_degrade_min);
+  apply_double(ini, "fan_degrade_max", config.fan_degrade_max);
 
   if (config.horizon <= 0.0 || config.min_duration < 0.0 ||
       config.max_duration < config.min_duration || config.sag_floor <= 0.0 ||
@@ -35,7 +39,10 @@ FaultPlanConfig fault_plan_config_from_ini(const IniFile& ini) {
       config.sensor_dropout_rate < 0.0 || config.sensor_garbage_rate < 0.0 ||
       config.cap_stuck_rate < 0.0 || config.budget_sag_rate < 0.0 ||
       config.net_connect_refuse_rate < 0.0 ||
-      config.net_read_stall_rate < 0.0 || config.net_disconnect_rate < 0.0) {
+      config.net_read_stall_rate < 0.0 || config.net_disconnect_rate < 0.0 ||
+      config.fan_degrade_rate < 0.0 || config.temp_stuck_rate < 0.0 ||
+      config.fan_degrade_min < 1.0 ||
+      config.fan_degrade_max < config.fan_degrade_min) {
     throw std::invalid_argument("[faults]: out-of-range value");
   }
   return config;
@@ -51,7 +58,8 @@ bool any_fault_rate(const FaultPlanConfig& config) {
          config.budget_sag_rate > 0.0 ||
          config.net_connect_refuse_rate > 0.0 ||
          config.net_read_stall_rate > 0.0 ||
-         config.net_disconnect_rate > 0.0;
+         config.net_disconnect_rate > 0.0 || config.fan_degrade_rate > 0.0 ||
+         config.temp_stuck_rate > 0.0;
 }
 
 }  // namespace dps

@@ -20,9 +20,13 @@ namespace dps {
 ///   sensor_garbage_rate = 0.5
 ///   cap_stuck_rate = 0.5
 ///   budget_sag_rate = 0.5
+///   fan_degrade_rate = 0.5     ; thermal faults (need [thermal] enabled)
+///   temp_stuck_rate = 0.5
 ///   min_duration = 30          ; [s] fault active window, uniform
 ///   max_duration = 180         ; [s]
 ///   sag_floor = 0.6            ; budget sag scales into [sag_floor, 1)
+///   fan_degrade_min = 1.25     ; resistance multiplier range, >= 1
+///   fan_degrade_max = 2.0
 ///
 /// Throws std::runtime_error on unparsable values (propagated from
 /// IniFile) and std::invalid_argument on out-of-range ones.

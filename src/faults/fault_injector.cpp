@@ -12,7 +12,9 @@ FaultInjector::FaultInjector(const FaultPlan& plan, int num_units)
       garbage_(static_cast<std::size_t>(num_units), 0),
       stuck_(static_cast<std::size_t>(num_units), 0),
       stall_(static_cast<std::size_t>(num_units), 0),
-      disconnect_(static_cast<std::size_t>(num_units), 0) {
+      disconnect_(static_cast<std::size_t>(num_units), 0),
+      fan_degrade_(static_cast<std::size_t>(num_units), 0),
+      temp_stuck_(static_cast<std::size_t>(num_units), 0) {
   if (num_units <= 0) {
     throw std::invalid_argument("FaultInjector: num_units must be > 0");
   }
@@ -56,6 +58,19 @@ void FaultInjector::apply(const FaultEvent& e, int delta) {
       break;
     case FaultKind::kNetDisconnect:
       disconnect_[static_cast<std::size_t>(e.unit)] += delta;
+      break;
+    case FaultKind::kFanDegrade:
+      fan_degrade_[static_cast<std::size_t>(e.unit)] += delta;
+      if (delta > 0) {
+        fan_factors_.emplace_back(e.unit, e.magnitude);
+      } else {
+        const auto it = std::find(fan_factors_.begin(), fan_factors_.end(),
+                                  std::make_pair(e.unit, e.magnitude));
+        if (it != fan_factors_.end()) fan_factors_.erase(it);
+      }
+      break;
+    case FaultKind::kTempSensorStuck:
+      temp_stuck_[static_cast<std::size_t>(e.unit)] += delta;
       break;
   }
   active_count_ += delta;
@@ -105,6 +120,15 @@ void FaultInjector::advance(Seconds now) {
                     to_string(e.kind));
     }
   }
+}
+
+double FaultInjector::fan_degrade_factor(int unit) const {
+  if (fan_degrade_[static_cast<std::size_t>(unit)] == 0) return 1.0;
+  double factor = 1.0;
+  for (const auto& [u, magnitude] : fan_factors_) {
+    if (u == unit) factor *= magnitude;
+  }
+  return factor;
 }
 
 double FaultInjector::budget_factor() const {

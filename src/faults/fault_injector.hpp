@@ -35,6 +35,14 @@ class FaultInjector {
   bool net_disconnected(int unit) const { return disconnect_[unit] > 0; }
   bool connect_refused() const { return refuse_count_ > 0; }
 
+  /// Thermal fault queries (only consumed when EngineConfig::thermal is
+  /// set; the events still activate/clear cleanly without it).
+  /// Product of the unit's active fan-degradation magnitudes, exactly 1.0
+  /// when none is active (the engine feeds this straight into
+  /// ThermalModel::set_resistance_multiplier).
+  double fan_degrade_factor(int unit) const;
+  bool temp_sensor_stuck(int unit) const { return temp_stuck_[unit] > 0; }
+
   /// Product of nothing: the *strongest* (minimum) scale factor among
   /// active budget sags, 1.0 when none is active.
   double budget_factor() const;
@@ -66,8 +74,13 @@ class FaultInjector {
   std::vector<FaultEvent> schedule_;  // time-sorted, from the plan
   std::size_t next_ = 0;
   std::vector<ActiveEvent> active_;
-  std::vector<int> crash_, dropout_, garbage_, stuck_, stall_, disconnect_;
+  std::vector<int> crash_, dropout_, garbage_, stuck_, stall_, disconnect_,
+      fan_degrade_, temp_stuck_;
   std::vector<double> sag_factors_;  // magnitudes of active sags
+  // Magnitudes of the active fan-degradation faults (unit, multiplier);
+  // a linear list like sag_factors_ — overlaps are rare and the product
+  // is recomputed on query, so clears restore exactly 1.0.
+  std::vector<std::pair<int, double>> fan_factors_;
   int refuse_count_ = 0;
   int active_count_ = 0;
   int activated_total_ = 0;

@@ -18,6 +18,8 @@ const char* to_string(FaultKind kind) {
     case FaultKind::kNetConnectRefuse: return "net_connect_refuse";
     case FaultKind::kNetReadStall: return "net_read_stall";
     case FaultKind::kNetDisconnect: return "net_disconnect";
+    case FaultKind::kFanDegrade: return "fan_degrade";
+    case FaultKind::kTempSensorStuck: return "temp_sensor_stuck";
   }
   return "unknown";
 }
@@ -48,6 +50,14 @@ void validate(const std::vector<FaultEvent>& events, int num_units) {
       }
     } else if (e.kind == FaultKind::kNetConnectRefuse) {
       // Cluster-scoped like a budget sag: the whole controller refuses.
+    } else if (e.kind == FaultKind::kFanDegrade) {
+      if (!(e.magnitude >= 1.0) || !std::isfinite(e.magnitude)) {
+        throw std::invalid_argument(
+            "FaultPlan: fan degrade magnitude must be >= 1");
+      }
+      if (e.unit < 0 || e.unit >= num_units) {
+        throw std::invalid_argument("FaultPlan: unit out of range");
+      }
     } else {
       if (e.unit < 0 || e.unit >= num_units) {
         throw std::invalid_argument("FaultPlan: unit out of range");
@@ -70,7 +80,8 @@ FaultPlan FaultPlan::generate(const FaultPlanConfig& config, int num_units) {
   }
   if (config.horizon <= 0.0 || config.min_duration < 0.0 ||
       config.max_duration < config.min_duration || config.sag_floor <= 0.0 ||
-      config.sag_floor > 1.0) {
+      config.sag_floor > 1.0 || config.fan_degrade_min < 1.0 ||
+      config.fan_degrade_max < config.fan_degrade_min) {
     throw std::invalid_argument("FaultPlan::generate: invalid config");
   }
 
@@ -87,6 +98,10 @@ FaultPlan FaultPlan::generate(const FaultPlanConfig& config, int num_units) {
       {FaultKind::kNetConnectRefuse, config.net_connect_refuse_rate},
       {FaultKind::kNetReadStall, config.net_read_stall_rate},
       {FaultKind::kNetDisconnect, config.net_disconnect_rate},
+      // New kinds go at the end: each kind's stream is split off in array
+      // order, so appending never reshuffles existing plans.
+      {FaultKind::kFanDegrade, config.fan_degrade_rate},
+      {FaultKind::kTempSensorStuck, config.temp_stuck_rate},
   };
 
   Rng rng(config.seed);
@@ -113,6 +128,11 @@ FaultPlan FaultPlan::generate(const FaultPlanConfig& config, int num_units) {
         e.magnitude = stream.uniform(config.sag_floor, 1.0);
       } else if (kind == FaultKind::kNetConnectRefuse) {
         e.unit = -1;
+      } else if (kind == FaultKind::kFanDegrade) {
+        e.unit = static_cast<int>(
+            stream.uniform_int(static_cast<std::uint64_t>(num_units)));
+        e.magnitude =
+            stream.uniform(config.fan_degrade_min, config.fan_degrade_max);
       } else {
         e.unit = static_cast<int>(
             stream.uniform_int(static_cast<std::uint64_t>(num_units)));

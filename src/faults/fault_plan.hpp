@@ -39,6 +39,15 @@ enum class FaultKind {
   /// Control-plane fault: the unit's client drops its TCP connection,
   /// then reconnects (restarted node agent) once the fault clears.
   kNetDisconnect,
+  /// Thermal fault: the unit's cooling degrades (clogged fan, failed
+  /// blower) — its thermal resistance is scaled by `magnitude` (>= 1)
+  /// while the fault is active. Only bites when EngineConfig::thermal is
+  /// on; otherwise the event activates and clears without effect.
+  kFanDegrade,
+  /// Thermal fault: the unit's temperature sensor freezes at its current
+  /// reading, so the throttle governor acts on stale data — it can miss a
+  /// real overheat or hold a throttle long after the unit cooled.
+  kTempSensorStuck,
 };
 
 const char* to_string(FaultKind kind);
@@ -52,7 +61,8 @@ struct FaultEvent {
   /// Target unit; ignored (use -1) for kBudgetSag.
   int unit = -1;
   FaultKind kind = FaultKind::kUnitCrash;
-  /// kBudgetSag: budget scale factor in (0, 1]. Unused otherwise.
+  /// kBudgetSag: budget scale factor in (0, 1]. kFanDegrade: thermal
+  /// resistance multiplier >= 1. Unused otherwise.
   double magnitude = 1.0;
 
   Seconds clears_at() const { return duration <= 0.0 ? -1.0 : at + duration; }
@@ -76,11 +86,17 @@ struct FaultPlanConfig {
   double net_connect_refuse_rate = 0.0;
   double net_read_stall_rate = 0.0;
   double net_disconnect_rate = 0.0;
+  double fan_degrade_rate = 0.0;
+  double temp_stuck_rate = 0.0;
   /// Fault durations are uniform in [min_duration, max_duration].
   Seconds min_duration = 30.0;
   Seconds max_duration = 180.0;
   /// Budget sags scale the budget by a factor uniform in [sag_floor, 1).
   double sag_floor = 0.6;
+  /// Fan degradation scales thermal resistance by a factor uniform in
+  /// [fan_degrade_min, fan_degrade_max]; both must be >= 1.
+  double fan_degrade_min = 1.25;
+  double fan_degrade_max = 2.0;
 };
 
 /// An immutable, time-sorted schedule of fault events. Fully deterministic:

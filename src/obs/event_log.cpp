@@ -29,6 +29,9 @@ const char* to_string(EventKind kind) {
     case EventKind::kFailsafeCap: return "failsafe_cap";
     case EventKind::kShardReport: return "shard_report";
     case EventKind::kShardBudget: return "shard_budget";
+    case EventKind::kThermalTrip: return "thermal_trip";
+    case EventKind::kThrottleOn: return "throttle_on";
+    case EventKind::kThrottleOff: return "throttle_off";
   }
   return "unknown";
 }
@@ -44,7 +47,8 @@ bool event_kind_from_string(const std::string& name, EventKind& out) {
         EventKind::kClientTimeout, EventKind::kClientReadmit,
         EventKind::kCheckpointWrite, EventKind::kCheckpointRestore,
         EventKind::kFailsafeCap, EventKind::kShardReport,
-        EventKind::kShardBudget}) {
+        EventKind::kShardBudget, EventKind::kThermalTrip,
+        EventKind::kThrottleOn, EventKind::kThrottleOff}) {
     if (name == to_string(kind)) {
       out = kind;
       return true;

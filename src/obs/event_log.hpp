@@ -80,6 +80,16 @@ enum class EventKind : std::uint8_t {
   /// parent over the wire, or by the in-sim tree's root level.
   /// unit = shard index, value = new shard budget [W], extra = old [W].
   kShardBudget,
+  /// Thermal governor (src/thermal/): a unit's sensed temperature crossed
+  /// the trip point. value = sensed temperature [C], extra = trip [C].
+  kThermalTrip,
+  /// Thermal governor engaged: the unit is force-capped from here on.
+  /// value = the forced cap [W], extra = the manager's requested cap [W].
+  kThrottleOn,
+  /// Thermal governor released the unit (sensed temperature fell through
+  /// the clear point). value = sensed temperature [C],
+  /// extra = throttled duration [s].
+  kThrottleOff,
 };
 
 /// Stable lower_snake name for CSV / trace exports.

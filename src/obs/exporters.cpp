@@ -26,6 +26,10 @@ const char* category_of(const std::string& kind) {
       kind == "job_requeue") {
     return "sched";
   }
+  if (kind == "thermal_trip" || kind == "throttle_on" ||
+      kind == "throttle_off") {
+    return "thermal";
+  }
   return "obs";
 }
 

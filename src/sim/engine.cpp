@@ -4,6 +4,7 @@
 #include "faults/fault_injector.hpp"
 #include "faults/faulty_power.hpp"
 #include "faults/resilience.hpp"
+#include "thermal/governor.hpp"
 
 #include <algorithm>
 #include <memory>
@@ -82,6 +83,17 @@ EngineResult SimulationEngine::run(Cluster& cluster, SimulatedRapl& rapl,
   PowerInterface& telemetry =
       faulty ? static_cast<PowerInterface&>(*faulty) : rapl;
 
+  // Thermal coupling: absent the config none of this exists and the loop
+  // below is bit-identical to a build without the subsystem.
+  std::unique_ptr<ThermalModel> thermal;
+  std::unique_ptr<ThrottleGovernor> governor;
+  std::vector<Watts> applied;
+  if (config_.thermal.has_value()) {
+    thermal = std::make_unique<ThermalModel>(*config_.thermal, n);
+    governor = std::make_unique<ThrottleGovernor>(*config_.thermal, n);
+    applied.resize(static_cast<std::size_t>(n));
+  }
+
   // Observability: pin the sink's clock to simulated time and hand the
   // same sink to every layer, so the run produces one coherent stream.
   const obs::ObsSink& obs = config_.obs;
@@ -92,6 +104,11 @@ EngineResult SimulationEngine::run(Cluster& cluster, SimulatedRapl& rapl,
     injector->set_obs(obs);
     faulty->set_obs(obs);
   }
+  if (governor) governor->set_obs(obs);
+  obs::Gauge* obs_max_temp =
+      thermal ? obs.gauge("thermal_max_temperature_c",
+                          "Hottest unit's true temperature this step")
+              : nullptr;
   obs::Counter* obs_steps = obs.counter(
       "engine_steps_total", "Decision-loop steps the engine executed");
   obs::Counter* obs_cap_writes = obs.counter(
@@ -149,6 +166,14 @@ EngineResult SimulationEngine::run(Cluster& cluster, SimulatedRapl& rapl,
       sched_rt->begin_tick(cluster, cluster.now(), effective_budget, caps);
     }
 
+    // Route active thermal faults into the model before the physics step.
+    if (thermal && injector) {
+      for (int u = 0; u < n; ++u) {
+        thermal->set_resistance_multiplier(u, injector->fan_degrade_factor(u));
+        thermal->set_sensor_stuck(u, injector->temp_sensor_stuck(u));
+      }
+    }
+
     // Advance the system one period under the currently enforced caps.
     for (int u = 0; u < n; ++u) effective[u] = rapl.effective_cap(u);
     cluster.true_demands(demands);
@@ -156,6 +181,15 @@ EngineResult SimulationEngine::run(Cluster& cluster, SimulatedRapl& rapl,
     if (sched_rt) sched_rt->end_tick(cluster, cluster.now(), config_.dt);
     for (int u = 0; u < n; ++u) rapl.record(u, true_power[u], config_.dt);
     rapl.advance_step();
+    if (thermal) {
+      thermal->step(config_.dt, true_power);
+      Celsius hottest = thermal->temperature(0);
+      for (int u = 1; u < n; ++u) {
+        hottest = std::max(hottest, thermal->temperature(u));
+      }
+      result.peak_temperature_c = std::max(result.peak_temperature_c, hottest);
+      if (obs_max_temp != nullptr) obs_max_temp->set(hottest);
+    }
 
     // Controller turn: read (possibly faulted) power, decide, actuate.
     for (int u = 0; u < n; ++u) measured[u] = telemetry.read_power(u);
@@ -169,16 +203,23 @@ EngineResult SimulationEngine::run(Cluster& cluster, SimulatedRapl& rapl,
     // The decision event precedes this step's cap writes in the stream —
     // the decision is what causes them.
     obs.event(obs::EventKind::kDecision, -1, cap_sum, effective_budget);
+    // The governor rewrites the requested caps into the caps actually
+    // written. `caps` keeps the manager's values — on the next decide it
+    // sees exactly what it asked for, never what the hardware enforced.
+    if (governor) {
+      governor->apply(*thermal, cluster.now(), config_.dt, caps, applied);
+    }
+    const std::vector<Watts>& written = governor ? applied : caps;
     for (int u = 0; u < n; ++u) {
-      telemetry.set_cap(u, caps[u]);
+      telemetry.set_cap(u, written[u]);
     }
     if (obs.enabled()) {
       for (int u = 0; u < n; ++u) {
         const auto su = static_cast<std::size_t>(u);
-        if (caps[su] != obs_prev_caps[su]) {
-          obs.event(obs::EventKind::kCapWrite, u, caps[su]);
+        if (written[su] != obs_prev_caps[su]) {
+          obs.event(obs::EventKind::kCapWrite, u, written[su]);
           obs_cap_writes->add();
-          obs_prev_caps[su] = caps[su];
+          obs_prev_caps[su] = written[su];
         }
       }
     }
@@ -215,6 +256,11 @@ EngineResult SimulationEngine::run(Cluster& cluster, SimulatedRapl& rapl,
     result.faults_injected = injector->activated_count();
     result.fault_recovery_times = recovery.recovery_times();
     result.dropped_cap_writes = faulty->dropped_cap_writes();
+  }
+  if (governor) {
+    result.thermal_throttle_events = governor->trip_events();
+    result.thermal_shed_ws = governor->shed_ws();
+    result.thermal_time_over_trip = governor->time_over_trip();
   }
   result.steps = steps;
   result.elapsed = cluster.now();

@@ -11,6 +11,7 @@
 #include "sched/runtime.hpp"
 #include "sim/cluster.hpp"
 #include "sim/trace.hpp"
+#include "thermal/thermal_model.hpp"
 
 namespace dps {
 
@@ -58,6 +59,15 @@ struct EngineConfig {
   /// run). Node-crash faults evict and requeue the jobs on the crashed
   /// unit, up to the config's retry cap.
   std::optional<sched::JobScheduleConfig> job_schedule;
+  /// Optional thermal coupling (src/thermal/). When set, the engine steps
+  /// a per-unit RC thermal model on each tick's true power and runs a
+  /// ThrottleGovernor between the manager's decision and the cap write:
+  /// units over the trip temperature get force-capped until they cool
+  /// through the clear point. The manager keeps seeing its own requested
+  /// caps — the governor is invisible to it except through the power
+  /// telemetry it already reads. Unset = no thermal state at all; runs are
+  /// bit-identical to a build without this subsystem.
+  std::optional<ThermalConfig> thermal;
 };
 
 /// Outcome of one simulated experiment run.
@@ -92,6 +102,19 @@ struct EngineResult {
   std::vector<Seconds> fault_recovery_times;
   /// set_cap requests swallowed by stuck-actuator / crash faults.
   std::uint64_t dropped_cap_writes = 0;
+
+  // --- Thermal (meaningful only when EngineConfig::thermal is set) ---
+  /// Times the governor engaged (trip events across all units).
+  int thermal_throttle_events = 0;
+  /// Watt-seconds of requested cap the governor shed — the gap between
+  /// what the manager asked for and what the hardware enforced.
+  Joules thermal_shed_ws = 0.0;
+  /// Per-unit seconds the *true* temperature spent at/above the trip
+  /// point (a stuck sensor can hide an overheat from the governor; this
+  /// ledger still sees it).
+  std::vector<Seconds> thermal_time_over_trip;
+  /// Hottest true temperature any unit reached during the run.
+  Celsius peak_temperature_c = 0.0;
 
   /// True when max_time fired before the run's goal was reached (the
   /// target completions, or in job mode the end of the job stream).

@@ -1,0 +1,66 @@
+#pragma once
+
+#include <vector>
+
+#include "obs/sink.hpp"
+#include "thermal/thermal_model.hpp"
+
+namespace dps {
+
+/// Firmware-style thermal throttle governor with trip/clear hysteresis
+/// (the shape of NVIDIA's Tegra `pd_gov`: a unit that crosses the trip
+/// point is force-capped until it cools back through the clear point).
+///
+/// The governor sits *between* the manager's decision and the cap write:
+/// the engine asks apply() to rewrite the requested caps into the caps
+/// actually written. The manager never sees the rewrite — its own `caps`
+/// vector keeps the requested values, so the only way a manager can learn
+/// about the governor is through the power telemetry it already reads.
+/// That is the point: the cap becomes a contested actuator.
+class ThrottleGovernor {
+ public:
+  ThrottleGovernor(const ThermalConfig& config, int num_units);
+
+  void set_obs(const obs::ObsSink& obs);
+
+  /// One governor pass at simulated time `now`: updates per-unit throttle
+  /// state from the model's *sensed* temperatures (a stuck sensor freezes
+  /// the governor's view, not the physics), then writes the effective caps
+  /// into `applied` — `min(requested, throttle_cap)` for throttled units,
+  /// `requested` untouched otherwise. Also accumulates the resilience
+  /// ledger: trip events, watt-seconds shed, and per-unit time the *true*
+  /// temperature spent above the trip point.
+  void apply(const ThermalModel& model, Seconds now, Seconds dt,
+             const std::vector<Watts>& requested,
+             std::vector<Watts>& applied);
+
+  bool throttled(int unit) const;
+  /// Trip events so far (kThermalTrip count).
+  int trip_events() const { return trip_events_; }
+  /// Watt-seconds of requested cap the governor shed across all units.
+  Joules shed_ws() const { return shed_ws_; }
+  /// Per-unit seconds the true temperature spent at/above the trip point.
+  const std::vector<Seconds>& time_over_trip() const {
+    return time_over_trip_;
+  }
+  /// Seconds any unit spent throttled, summed over units.
+  Seconds throttled_time() const { return throttled_time_; }
+
+ private:
+  ThermalConfig config_;
+  std::vector<char> throttled_;
+  std::vector<Seconds> throttle_since_;
+  std::vector<Seconds> time_over_trip_;
+  int trip_events_ = 0;
+  Joules shed_ws_ = 0.0;
+  Seconds throttled_time_ = 0.0;
+
+  obs::ObsSink obs_;
+  obs::Counter* obs_trips_ = nullptr;
+  obs::Counter* obs_transitions_ = nullptr;
+  obs::Gauge* obs_throttled_ = nullptr;
+  obs::Gauge* obs_shed_ws_ = nullptr;
+  obs::Histogram* obs_trip_temp_ = nullptr;
+};
+
+}  // namespace dps

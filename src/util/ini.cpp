@@ -57,6 +57,7 @@ IniFile IniFile::parse(const std::string& text) {
                                std::to_string(line_number));
     }
     ini.values_[{section, key}] = value;
+    ini.lines_[{section, key}] = line_number;
   }
   return ini;
 }
@@ -104,6 +105,12 @@ std::optional<bool> IniFile::get_bool(const std::string& section,
   if (v == "true" || v == "yes" || v == "on" || v == "1") return true;
   if (v == "false" || v == "no" || v == "off" || v == "0") return false;
   return std::nullopt;
+}
+
+int IniFile::line_of(const std::string& section,
+                     const std::string& key) const {
+  const auto it = lines_.find({section, key});
+  return it == lines_.end() ? 0 : it->second;
 }
 
 bool IniFile::has_section(const std::string& section) const {

@@ -30,9 +30,16 @@ class IniFile {
   bool has_section(const std::string& section) const;
   std::size_t size() const { return values_.size(); }
 
+  /// 1-based line of the `key = value` pair in the parsed text, or 0 when
+  /// the key is absent. Lets semantic validators (not just the syntax
+  /// layer) report "bad value at line N".
+  int line_of(const std::string& section, const std::string& key) const;
+
  private:
   // (section, key) -> value
   std::map<std::pair<std::string, std::string>, std::string> values_;
+  // (section, key) -> 1-based source line, for semantic error messages.
+  std::map<std::pair<std::string, std::string>, int> lines_;
 };
 
 }  // namespace dps

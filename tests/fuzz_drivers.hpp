@@ -17,6 +17,7 @@
 #include "faults/fault_injector.hpp"
 #include "faults/fault_plan.hpp"
 #include "net/protocol.hpp"
+#include "thermal/thermal_config.hpp"
 #include "util/csv_reader.hpp"
 #include "util/ini.hpp"
 
@@ -94,11 +95,16 @@ inline bool drive_fault_plan(const std::uint8_t* data, std::size_t size) {
   config.sensor_garbage_rate = next_byte() * 0.5;
   config.cap_stuck_rate = next_byte() * 0.5;
   config.budget_sag_rate = next_byte() * 0.5;
+  config.fan_degrade_rate = next_byte() * 0.5;
+  config.temp_stuck_rate = next_byte() * 0.5;
   // Strictly positive: a zero duration means "never clears", which would
   // (correctly) trip the all-windows-closed invariant below.
   config.min_duration = 0.25 + next_byte() * 0.25;
   config.max_duration = config.min_duration + next_byte() * 0.25;
   config.sag_floor = 0.05 + (next_byte() % 95) / 100.0;
+  // Fan-degrade magnitudes are resistance multipliers, >= 1 by contract.
+  config.fan_degrade_min = 1.0 + (next_byte() % 64) / 32.0;
+  config.fan_degrade_max = config.fan_degrade_min + (next_byte() % 64) / 32.0;
   const auto generated = FaultPlan::generate(config, num_units);
 
   // Raw event list from the remaining bytes — mostly invalid on purpose.
@@ -108,7 +114,9 @@ inline bool drive_fault_plan(const std::uint8_t* data, std::size_t size) {
     e.at = static_cast<double>(next_byte()) - 8.0;  // sometimes negative
     e.duration = static_cast<double>(next_byte()) - 8.0;
     e.unit = static_cast<int>(next_byte()) - 8;  // sometimes out of range
-    e.kind = static_cast<FaultKind>(next_byte() % 5);
+    e.kind = static_cast<FaultKind>(next_byte() % 7);  // all seven kinds
+    // In [-0.125, 3.86): straddles 1.0, so fan-degrade events land on both
+    // sides of the magnitude-must-be->=1 validator.
     e.magnitude = (static_cast<double>(next_byte()) - 8.0) / 64.0;
     events.push_back(e);
   }
@@ -128,12 +136,70 @@ inline bool drive_fault_plan(const std::uint8_t* data, std::size_t size) {
   if (injector.budget_factor() != 1.0) return false;
   for (int u = 0; u < num_units; ++u) {
     if (injector.crashed(u) || injector.sensor_dropout(u) ||
-        injector.sensor_garbage(u) || injector.cap_stuck(u)) {
+        injector.sensor_garbage(u) || injector.cap_stuck(u) ||
+        injector.temp_sensor_stuck(u)) {
       return false;
     }
+    // Closed fan-degrade windows must restore the factor to exactly 1.0
+    // (no residual multiplier drift from the overlap product).
+    if (injector.fan_degrade_factor(u) != 1.0) return false;
   }
   return injector.activated_count() ==
          static_cast<int>(generated.size());
+}
+
+/// [thermal] sections: hostile key values — negative time constants, trip
+/// and clear in either order, out-of-range jitter — must either produce a
+/// validated config or throw a std::invalid_argument prefixed "[thermal]:"
+/// (with the offending source line appended when the key appears in the
+/// text). A config that parses must survive thermal_config_to_ini ->
+/// thermal_config_from_ini with every field exactly equal. Returns false
+/// if either invariant breaks.
+inline bool drive_thermal_config(const std::uint8_t* data, std::size_t size) {
+  std::size_t pos = 0;
+  auto next_byte = [&]() -> std::uint8_t {
+    return pos < size ? data[pos++] : 0;
+  };
+
+  std::string text = "[thermal]\n";
+  const char* keys[] = {"enabled",       "ambient", "resistance",
+                        "time_constant", "trip",    "clear",
+                        "throttle_cap",  "jitter",  "seed"};
+  for (const char* key : keys) {
+    const std::uint8_t control = next_byte();
+    if (control % 4 == 0) continue;  // sometimes omitted -> defaults
+    std::string value;
+    if (std::string(key) == "enabled") {
+      value = control % 2 ? "true" : "false";
+    } else if (std::string(key) == "seed") {
+      value = std::to_string(static_cast<int>(next_byte()));
+    } else {
+      // In [-32, 95.5]: often negative or zero, so every semantic
+      // validator (resistance > 0, time_constant > 0, trip > clear, ...)
+      // gets exercised from real INI text.
+      value = std::to_string((static_cast<double>(next_byte()) - 64.0) * 0.5);
+    }
+    text += std::string(key) + " = " + value + "\n";
+  }
+
+  try {
+    const auto parsed = thermal_config_from_ini(IniFile::parse(text));
+    if (!parsed) return true;  // enabled = false — nothing to round-trip
+    const auto round = thermal_config_from_ini(
+        IniFile::parse(thermal_config_to_ini(*parsed)));
+    if (!round) return false;
+    return round->ambient_c == parsed->ambient_c &&
+           round->resistance_c_per_w == parsed->resistance_c_per_w &&
+           round->time_constant_s == parsed->time_constant_s &&
+           round->trip_c == parsed->trip_c &&
+           round->clear_c == parsed->clear_c &&
+           round->throttle_cap_w == parsed->throttle_cap_w &&
+           round->jitter_fraction == parsed->jitter_fraction &&
+           round->seed == parsed->seed;
+  } catch (const std::invalid_argument& error) {
+    // Semantic rejections must carry the section-qualified message.
+    return std::string(error.what()).rfind("[thermal]: ", 0) == 0;
+  }
 }
 
 }  // namespace dps::fuzz

@@ -8,6 +8,7 @@
 /// them:
 ///   0 -> wire protocol codec     2 -> CSV parser
 ///   1 -> INI parser              3 -> fault-plan generator/injector
+///   4 -> [thermal] config parser/round-trip
 
 #include <cstddef>
 #include <cstdint>
@@ -18,7 +19,7 @@
 extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
                                       std::size_t size) {
   if (size == 0) return 0;
-  const std::uint8_t selector = data[0] % 4;
+  const std::uint8_t selector = data[0] % 5;
   ++data;
   --size;
   switch (selector) {
@@ -31,8 +32,11 @@ extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
     case 2:
       dps::fuzz::drive_csv(data, size);
       break;
-    default:
+    case 3:
       if (!dps::fuzz::drive_fault_plan(data, size)) std::abort();
+      break;
+    default:
+      if (!dps::fuzz::drive_thermal_config(data, size)) std::abort();
       break;
   }
   return 0;

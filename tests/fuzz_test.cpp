@@ -132,6 +132,22 @@ TEST_P(FuzzSeeds, FaultPlanDriverInvariantsHold) {
   }
 }
 
+TEST_P(FuzzSeeds, ThermalConfigDriverInvariantsHold) {
+  // Arbitrary bytes -> hostile [thermal] sections (negative time
+  // constants, trip/clear inverted, out-of-range jitter); the driver
+  // checks that parsing either validates or throws a "[thermal]: "-
+  // prefixed error, and that accepted configs round-trip exactly through
+  // thermal_config_to_ini (see fuzz_drivers.hpp).
+  Rng rng(GetParam() ^ 0x6666ULL);
+  for (int i = 0; i < 300; ++i) {
+    std::vector<std::uint8_t> buffer(rng.uniform_int(64));
+    for (auto& byte : buffer) {
+      byte = static_cast<std::uint8_t>(rng.uniform_int(256));
+    }
+    EXPECT_TRUE(fuzz::drive_thermal_config(buffer.data(), buffer.size()));
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSeeds,
                          testing::Values(42u, 4242u, 424242u));
 

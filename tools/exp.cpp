@@ -29,6 +29,7 @@
 #include "managers/slurm_stateless.hpp"
 #include "sched/arrivals.hpp"
 #include "sim/engine.hpp"
+#include "thermal/thermal_config.hpp"
 #include "util/csv.hpp"
 #include "util/table.hpp"
 #include "workloads/npb_suite.hpp"
@@ -60,6 +61,11 @@ struct Options {
   // manager per shard under a DPS root tier. 0 = flat (default).
   int tree_shard = 0;
   int tree_jobs = 1;
+  // Thermal coupling (src/thermal/): any --thermal* flag enables the RC
+  // model + throttle governor; unset values come from the [thermal]
+  // section or the defaults.
+  bool thermal = false;
+  std::optional<double> thermal_trip, thermal_clear, thermal_cap;
   bool list = false;
   bool help = false;
 
@@ -70,6 +76,11 @@ struct Options {
   bool obs_enabled() const {
     return !obs_metrics_path.empty() || !obs_events_path.empty() ||
            !obs_trace_path.empty();
+  }
+
+  bool thermal_flags() const {
+    return thermal || thermal_trip.has_value() || thermal_clear.has_value() ||
+           thermal_cap.has_value();
   }
 };
 
@@ -85,7 +96,7 @@ void print_usage() {
       "  --budget <watts>  per-socket cluster budget        [110]\n"
       "  --sockets <n>     sockets per cluster              [10]\n"
       "  --trace <path>    dump per-step telemetry CSV\n"
-      "  --config <file>   INI with [dps]/[stateless]/[obs] sections\n"
+      "  --config <file>   INI with [dps]/[stateless]/[obs]/[thermal]\n"
       "                    (the [net] section is validated too, so one\n"
       "                    file can serve exp and the daemons)\n"
       "  --obs-metrics <p> write Prometheus metrics of an observed run\n"
@@ -99,6 +110,12 @@ void print_usage() {
       "  --jobs <n>         jobs in the generated stream      [40]\n"
       "  --job-trace <path> replay arrivals from a CSV trace\n"
       "  --units <n>        power-capping units in the machine [20]\n"
+      "\nThermal coupling (src/thermal/; any of these enables the RC model\n"
+      "and its throttle governor, defaults from [thermal] or built-ins):\n"
+      "  --thermal          enable with the configured parameters\n"
+      "  --thermal-trip <C> governor trip temperature\n"
+      "  --thermal-clear <C> governor clear temperature\n"
+      "  --thermal-cap <W>  cap forced while a unit is throttled\n"
       "\nHierarchical control plane (src/ctrl/, sim form; applies to\n"
       "job-schedule mode and the --trace/--obs re-run):\n"
       "  --tree-shard <k>   units per leaf shard; the chosen manager runs\n"
@@ -195,6 +212,20 @@ std::optional<Options> parse(int argc, char** argv) {
       const char* v = next();
       if (!v) return std::nullopt;
       options.tree_jobs = std::atoi(v);
+    } else if (arg == "--thermal") {
+      options.thermal = true;
+    } else if (arg == "--thermal-trip") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      options.thermal_trip = std::atof(v);
+    } else if (arg == "--thermal-clear") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      options.thermal_clear = std::atof(v);
+    } else if (arg == "--thermal-cap") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      options.thermal_cap = std::atof(v);
     } else {
       std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
       return std::nullopt;
@@ -210,6 +241,7 @@ struct FileConfig {
   DpsConfig dps;
   MimdConfig stateless = slurm_plugin_defaults();
   obs::ObsConfig obs;
+  std::optional<ThermalConfig> thermal;
 };
 
 FileConfig load_file_config(const std::string& path) {
@@ -219,8 +251,24 @@ FileConfig load_file_config(const std::string& path) {
   fc.dps = dps_config_from_ini(ini);
   fc.stateless = mimd_config_from_ini(ini, slurm_plugin_defaults());
   fc.obs = obs::obs_config_from_ini(ini);
+  fc.thermal = thermal_config_from_ini(ini);
   validate_net_config(net_config_from_ini(ini));
   return fc;
+}
+
+/// [thermal] section and --thermal* flags combined: flags win, any flag
+/// alone enables the subsystem with defaults.
+std::optional<ThermalConfig> resolve_thermal(const Options& options,
+                                             const FileConfig& fc) {
+  if (!fc.thermal.has_value() && !options.thermal_flags()) {
+    return std::nullopt;
+  }
+  ThermalConfig t = fc.thermal.value_or(ThermalConfig{});
+  if (options.thermal_trip) t.trip_c = *options.thermal_trip;
+  if (options.thermal_clear) t.clear_c = *options.thermal_clear;
+  if (options.thermal_cap) t.throttle_cap_w = *options.thermal_cap;
+  validate(t);
+  return t;
 }
 
 ManagerKind manager_kind(const std::string& name) {
@@ -311,6 +359,7 @@ void run_sched_mode(const Options& options, const FileConfig& fc) {
   if (options.obs_enabled()) obs_config.enabled = true;
   config.obs = obs::make_sink(obs_config);
   config.job_schedule = js;
+  config.thermal = resolve_thermal(options, fc);
 
   DpsManager dps(fc.dps);
   SlurmStatelessManager slurm(fc.stateless);
@@ -351,6 +400,14 @@ void run_sched_mode(const Options& options, const FileConfig& fc) {
   table.add_row({"elapsed [s]", format_double(result.elapsed, 0)});
   table.add_row({"timed out", result.timed_out ? "yes" : "no"});
   table.add_row({"peak cap sum [W]", format_double(result.peak_cap_sum, 1)});
+  if (config.thermal.has_value()) {
+    table.add_row(
+        {"thermal throttles", std::to_string(result.thermal_throttle_events)});
+    table.add_row(
+        {"thermal shed [Ws]", format_double(result.thermal_shed_ws, 1)});
+    table.add_row(
+        {"peak temperature [C]", format_double(result.peak_temperature_c, 1)});
+  }
   table.print();
   if (export_obs) {
     obs::export_all(config.obs, obs_config);
@@ -394,6 +451,7 @@ int main(int argc, char** argv) {
     params.sockets_per_cluster = options->sockets;
     params.dps = fc.dps;
     params.slurm = fc.stateless;
+    params.thermal = resolve_thermal(*options, fc);
     PairRunner runner(params);
 
     const auto workload_a = workload_by_name(options->a);
@@ -426,6 +484,12 @@ int main(int argc, char** argv) {
                 format_double(outcome.fairness, 4).c_str(),
                 outcome.peak_cap_sum,
                 options->budget_per_socket * 2 * options->sockets);
+    if (params.thermal.has_value()) {
+      std::printf("thermal: %d throttle engagements, %.1f Ws shed by the "
+                  "governor, peak %.1f C (trip %.1f C)\n",
+                  outcome.thermal_throttle_events, outcome.thermal_shed_ws,
+                  outcome.peak_temperature_c, params.thermal->trip_c);
+    }
 
     if (options->trace_path || options->obs_enabled()) {
       // Re-run with tracing / observability enabled through the
@@ -448,6 +512,7 @@ int main(int argc, char** argv) {
         obs_config.export_trace_json = options->obs_trace_path;
       }
       config.obs = obs::make_sink(obs_config);
+      config.thermal = params.thermal;
       Cluster cluster(
           {GroupSpec{workload_a, options->sockets, options->seed},
            GroupSpec{workload_b, options->sockets, options->seed + 1}});
