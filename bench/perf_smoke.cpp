@@ -10,10 +10,13 @@
 /// Results land in BENCH_sweep.json (override with DPS_BENCH_JSON), the
 /// perf-trajectory artifact CI uploads on every run; see
 /// docs/performance.md for how to read it. Knobs:
-///   DPS_JOBS               parallel worker count (default: hw concurrency)
+///   DPS_JOBS               parallel worker count (default: available CPUs)
 ///   DPS_REPEATS            runs per workload (default 1 here: smoke scale)
 ///   DPS_PERF_MIN_SPEEDUP   exit nonzero if parallel/serial speedup falls
 ///                          below this (default 0 = never; CI sets 1.0)
+///   DPS_PERF_MIN_STEPS_PER_S  exit nonzero if the serial phase's engine
+///                          steps/s falls below this absolute floor
+///                          (default 0 = never; CI pins a conservative one)
 ///   DPS_BENCH_JSON         output path (default "BENCH_sweep.json")
 
 #include <chrono>
@@ -21,7 +24,6 @@
 #include <fstream>
 #include <sstream>
 #include <string>
-#include <thread>
 #include <vector>
 
 #include "bench_common.hpp"
@@ -106,6 +108,7 @@ int main() {
   const int repeats = static_cast<int>(env_int("DPS_REPEATS", 1));
   const int jobs = sweep_jobs();
   const double min_speedup = env_double("DPS_PERF_MIN_SPEEDUP", 0.0);
+  const double min_steps_per_s = env_double("DPS_PERF_MIN_STEPS_PER_S", 0.0);
   const std::string json_path =
       env_string("DPS_BENCH_JSON", "BENCH_sweep.json");
   const std::string out = dps::bench::out_dir();
@@ -155,7 +158,7 @@ int main() {
         "  \"speedup\": %.3f,\n"
         "  \"identical_csv\": %s\n"
         "}\n",
-        tasks.size(), repeats, jobs, std::thread::hardware_concurrency(),
+        tasks.size(), repeats, jobs, available_threads(),
         serial.total_steps, serial.wall_s, parallel.wall_s,
         serial.total_steps / serial.wall_s,
         parallel.total_steps / parallel.wall_s, speedup,
@@ -181,6 +184,14 @@ int main() {
     std::fprintf(stderr,
                  "perf_smoke: FAIL — speedup %.2fx below required %.2fx\n",
                  speedup, min_speedup);
+    return 1;
+  }
+  const double serial_rate = serial.total_steps / serial.wall_s;
+  if (min_steps_per_s > 0.0 && serial_rate < min_steps_per_s) {
+    std::fprintf(stderr,
+                 "perf_smoke: FAIL — serial %.0f steps/s below required "
+                 "%.0f steps/s\n",
+                 serial_rate, min_steps_per_s);
     return 1;
   }
   return 0;

@@ -6,7 +6,13 @@ namespace dps {
 
 CapReadjuster::CapReadjuster(const DpsConfig& config) : config_(config) {}
 
-void CapReadjuster::reset(const ManagerContext& ctx) { ctx_ = ctx; }
+void CapReadjuster::reset(const ManagerContext& ctx) {
+  ctx_ = ctx;
+  high_.clear();
+  high_.reserve(static_cast<std::size_t>(ctx.num_units));
+  weight_.clear();
+  weight_.reserve(static_cast<std::size_t>(ctx.num_units));
+}
 
 bool CapReadjuster::apply(std::span<const Watts> power,
                           const std::vector<bool>& priorities,
@@ -29,13 +35,14 @@ bool CapReadjuster::restore(std::span<const Watts> power,
 }
 
 void CapReadjuster::readjust(const std::vector<bool>& priorities,
-                             std::span<Watts> caps) const {
+                             std::span<Watts> caps) {
   const std::size_t n = caps.size();
   Watts cap_sum = 0.0;
   for (const Watts c : caps) cap_sum += c;
   Watts avail = ctx_.total_budget - cap_sum;
 
-  std::vector<std::size_t> high;
+  auto& high = high_;
+  high.clear();
   for (std::size_t u = 0; u < n; ++u) {
     if (priorities[u]) high.push_back(u);
   }
@@ -50,7 +57,8 @@ void CapReadjuster::readjust(const std::vector<bool>& priorities,
     // the inverse of their current caps (lower cap -> larger share) unless
     // the equal-split ablation is on. Weights renormalize as units saturate
     // at TDP so no budget is stranded while another unit could take it.
-    std::vector<double> weight(high.size());
+    auto& weight = weight_;
+    weight.resize(high.size());
     for (std::size_t i = 0; i < high.size(); ++i) {
       weight[i] = config_.favor_low_caps
                       ? 1.0 / std::max(caps[high[i]], ctx_.min_cap)

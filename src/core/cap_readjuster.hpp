@@ -47,11 +47,14 @@ class CapReadjuster {
 
  private:
   bool restore(std::span<const Watts> power, std::span<Watts> caps) const;
-  void readjust(const std::vector<bool>& priorities,
-                std::span<Watts> caps) const;
+  void readjust(const std::vector<bool>& priorities, std::span<Watts> caps);
 
   DpsConfig config_;
   ManagerContext ctx_;
+  /// Scratch for readjust(), kept across calls so the per-step hot path
+  /// never allocates: the high-priority unit list and its weights.
+  std::vector<std::size_t> high_;
+  std::vector<double> weight_;
 };
 
 }  // namespace dps

@@ -23,6 +23,8 @@ void DpsManager::reset(const ManagerContext& ctx) {
   silent_streak_.assign(static_cast<std::size_t>(ctx.num_units), 0);
   evicted_.assign(static_cast<std::size_t>(ctx.num_units), false);
   prev_priorities_.assign(static_cast<std::size_t>(ctx.num_units), false);
+  ablation_no_priorities_.assign(static_cast<std::size_t>(ctx.num_units),
+                                 false);
 }
 
 void DpsManager::set_obs(const obs::ObsSink& sink) {
@@ -102,8 +104,7 @@ void DpsManager::decide(std::span<const Watts> power, std::span<Watts> caps) {
   if (!config_.use_priority_module) {
     // Ablation: DPS degenerates to the stateless system (plus restore).
     if (config_.use_restore) {
-      std::vector<bool> no_priorities(caps.size(), false);
-      last_restored_ = readjuster_.apply(power, no_priorities, caps);
+      last_restored_ = readjuster_.apply(power, ablation_no_priorities_, caps);
     }
     if (last_restored_ && obs_restore_rounds_ != nullptr) {
       obs_restore_rounds_->add();

@@ -72,6 +72,10 @@ class DpsManager final : public PowerManager {
   bool last_restored_ = false;
   std::vector<int> silent_streak_;
   std::vector<bool> evicted_;
+  /// All-false priority vector handed to the readjuster when the priority
+  /// module is ablated off; sized once in reset() so decide() never
+  /// allocates for it.
+  std::vector<bool> ablation_no_priorities_;
 
   // --- Observability (src/obs/); all null when the sink is disabled ---
   obs::ObsSink obs_;

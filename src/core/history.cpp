@@ -5,7 +5,9 @@
 namespace dps {
 
 EstimatedPowerHistory::EstimatedPowerHistory(const DpsConfig& config)
-    : config_(config) {
+    : config_(config),
+      filters_(config.kf_process_variance, config.kf_measurement_variance),
+      durations_(config.history_length < 3 ? 3 : config.history_length) {
   if (config_.history_length < 3) {
     throw std::invalid_argument(
         "EstimatedPowerHistory: history_length must be >= 3");
@@ -13,45 +15,47 @@ EstimatedPowerHistory::EstimatedPowerHistory(const DpsConfig& config)
 }
 
 void EstimatedPowerHistory::reset(int num_units) {
-  filters_.clear();
+  filters_.reset(static_cast<std::size_t>(num_units));
   power_.clear();
   durations_.clear();
-  filters_.reserve(static_cast<std::size_t>(num_units));
   power_.reserve(static_cast<std::size_t>(num_units));
-  durations_.reserve(static_cast<std::size_t>(num_units));
   for (int u = 0; u < num_units; ++u) {
-    filters_.emplace_back(config_.kf_process_variance,
-                          config_.kf_measurement_variance);
     power_.emplace_back(config_.history_length);
-    durations_.emplace_back(config_.history_length);
   }
   first_observation_ = true;
 }
 
 void EstimatedPowerHistory::observe(std::span<const Watts> measured,
                                     Seconds dt) {
-  if (measured.size() != filters_.size()) {
+  const std::size_t n = filters_.size();
+  if (measured.size() != n) {
     throw std::invalid_argument("observe: measurement count mismatch");
   }
-  for (std::size_t u = 0; u < filters_.size(); ++u) {
-    double estimate = measured[u];
-    if (config_.use_kalman_filter) {
-      if (first_observation_) {
-        // Seed the filter at the first reading so it does not have to
-        // converge from zero.
-        filters_[u].reset(measured[u], config_.kf_measurement_variance);
-        estimate = measured[u];
-      } else {
-        estimate = filters_[u].update(measured[u]);
-      }
-    } else if (config_.ewma_alpha > 0.0 && !first_observation_) {
-      // EWMA ablation: first-order low-pass around the previous estimate.
-      const double previous = power_[u].at_back(0);
-      estimate = previous + config_.ewma_alpha * (measured[u] - previous);
+  if (config_.use_kalman_filter) {
+    if (first_observation_) {
+      // Seed the filters at the first readings so they do not have to
+      // converge from zero.
+      filters_.seed(measured, config_.kf_measurement_variance);
+    } else {
+      // One contiguous predict/update pass over the whole bank.
+      filters_.update(measured);
     }
-    power_[u].push(estimate);
-    durations_[u].push(dt);
+    const auto& estimates = filters_.estimates();
+    for (std::size_t u = 0; u < n; ++u) {
+      power_[u].push(estimates[u]);
+    }
+  } else {
+    for (std::size_t u = 0; u < n; ++u) {
+      double estimate = measured[u];
+      if (config_.ewma_alpha > 0.0 && !first_observation_) {
+        // EWMA ablation: first-order low-pass around the previous estimate.
+        const double previous = power_[u].at_back(0);
+        estimate = previous + config_.ewma_alpha * (measured[u] - previous);
+      }
+      power_[u].push(estimate);
+    }
   }
+  durations_.push(dt);
   first_observation_ = false;
 }
 
@@ -65,15 +69,21 @@ const RollingWindow& EstimatedPowerHistory::power_history(int unit) const {
 }
 
 const RollingWindow& EstimatedPowerHistory::duration_history(int unit) const {
-  return durations_.at(static_cast<std::size_t>(unit));
+  // Bounds semantics of the former per-unit vector, shared backing store.
+  if (unit < 0 || unit >= num_units()) {
+    throw std::out_of_range("duration_history: unit out of range");
+  }
+  return durations_;
 }
 
 void EstimatedPowerHistory::save(ByteWriter& out) const {
   out.u64(filters_.size());
   out.boolean(first_observation_);
-  for (const auto& filter : filters_) filter.save(out);
+  filters_.save(out);  // byte-compatible with the former per-filter loop
   for (const auto& window : power_) window.save(out);
-  for (const auto& window : durations_) window.save(out);
+  // Per-unit duration-window wire format, emitted from the shared window
+  // (all per-unit windows were identical clones of it).
+  for (std::size_t u = 0; u < power_.size(); ++u) durations_.save(out);
 }
 
 void EstimatedPowerHistory::load(ByteReader& in) {
@@ -83,9 +93,11 @@ void EstimatedPowerHistory::load(ByteReader& in) {
         "EstimatedPowerHistory: snapshot unit count mismatch");
   }
   first_observation_ = in.boolean();
-  for (auto& filter : filters_) filter.load(in);
+  filters_.load(in);
   for (auto& window : power_) window.load(in);
-  for (auto& window : durations_) window.load(in);
+  // Consume the per-unit duration windows; they are identical by
+  // construction, so the last one read is the shared state.
+  for (std::size_t u = 0; u < power_.size(); ++u) durations_.load(in);
 }
 
 bool EstimatedPowerHistory::warmed_up() const {

@@ -15,6 +15,10 @@ namespace dps {
 /// posterior estimates are pushed into the per-unit histories, alongside a
 /// parallel window of step durations (Algorithm 2's duration_history, used
 /// by the average-derivative estimate).
+///
+/// The filters live in a KalmanBank (structure-of-arrays), so the per-step
+/// predict/update is one contiguous pass; its estimates and checkpoint
+/// bytes are identical to the former std::vector<Kalman1D>.
 class EstimatedPowerHistory {
  public:
   explicit EstimatedPowerHistory(const DpsConfig& config);
@@ -36,7 +40,9 @@ class EstimatedPowerHistory {
   /// The power history window of `unit`, oldest first.
   const RollingWindow& power_history(int unit) const;
 
-  /// The parallel step-duration window of `unit`.
+  /// The parallel step-duration window of `unit`. Every unit receives the
+  /// same dt at the same observe() call, so one shared window backs all
+  /// units (the checkpoint still carries the per-unit wire format).
   const RollingWindow& duration_history(int unit) const;
 
   /// Whether the history has accumulated its full window (DPS "needs at
@@ -52,9 +58,11 @@ class EstimatedPowerHistory {
 
  private:
   DpsConfig config_;
-  std::vector<Kalman1D> filters_;
+  KalmanBank filters_;
   std::vector<RollingWindow> power_;
-  std::vector<RollingWindow> durations_;
+  /// Shared step-duration window: observe() pushes one identical dt for
+  /// every unit, so per-unit copies would be n clones of this.
+  RollingWindow durations_;
   bool first_observation_ = true;
 };
 

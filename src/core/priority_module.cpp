@@ -31,8 +31,12 @@ void PriorityModule::update(const EstimatedPowerHistory& history,
     } else {
       idle_streak_[u] = 0;
     }
+    // The count only feeds the two threshold comparisons below, so cap it
+    // at threshold + 1: both predicates are unchanged and the counter
+    // stops scanning once the verdict is decided.
     const std::size_t pp_count =
-        count_prominent_peaks(window.contents(), config_.peak_prominence);
+        count_prominent_peaks(window.contents(), config_.peak_prominence,
+                              config_.peak_count_threshold + 1);
 
     // Frequency classification with hysteresis (Algorithm 2, lines 5-14).
     if (!high_freq_[u]) {

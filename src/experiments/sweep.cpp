@@ -2,15 +2,30 @@
 
 #include <thread>
 
+#if defined(__linux__)
+#include <sched.h>
+#endif
+
 #include "util/env.hpp"
 #include "util/rng.hpp"
 
 namespace dps {
 
-int sweep_jobs() {
+unsigned available_threads() {
+#if defined(__linux__)
+  cpu_set_t mask;
+  CPU_ZERO(&mask);
+  if (sched_getaffinity(0, sizeof(mask), &mask) == 0) {
+    const int cpus = CPU_COUNT(&mask);
+    if (cpus > 0) return static_cast<unsigned>(cpus);
+  }
+#endif
   const unsigned hw = std::thread::hardware_concurrency();
-  const long fallback = hw > 0 ? static_cast<long>(hw) : 1;
-  const long jobs = env_int("DPS_JOBS", fallback);
+  return hw > 0 ? hw : 1;
+}
+
+int sweep_jobs() {
+  const long jobs = env_int("DPS_JOBS", static_cast<long>(available_threads()));
   return jobs < 1 ? 1 : static_cast<int>(jobs);
 }
 

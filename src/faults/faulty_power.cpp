@@ -1,6 +1,7 @@
 #include "faults/faulty_power.hpp"
 
 #include <cmath>
+#include <stdexcept>
 
 namespace dps {
 
@@ -30,6 +31,33 @@ Watts FaultyPowerInterface::read_power(int unit) {
   return value;
 }
 
+void FaultyPowerInterface::read_power_batch(std::span<Watts> out) {
+  const std::size_t n = last_good_.size();
+  if (out.size() != n) {
+    throw std::invalid_argument("read_power_batch: span size mismatch");
+  }
+  if (!injector_.any_active()) {
+    // No fault can reroute a read, so the inner batch consumes its noise
+    // stream in exactly the order per-unit reads would; only the
+    // NaN/negative guard remains.
+    inner_.read_power_batch(out);
+    for (std::size_t u = 0; u < n; ++u) {
+      const Watts value = out[u];
+      if (!std::isfinite(value) || value < 0.0) {
+        out[u] = last_good_[u];
+      } else {
+        last_good_[u] = value;
+      }
+    }
+    return;
+  }
+  // Faults active: per-unit routing decides whether the inner interface
+  // (and its noise stream) is consulted at all, so it must stay per-unit.
+  for (std::size_t u = 0; u < n; ++u) {
+    out[u] = read_power(static_cast<int>(u));
+  }
+}
+
 void FaultyPowerInterface::set_obs(const obs::ObsSink& sink) {
   obs_ = sink;
   obs_cap_drops_ = sink.counter(
@@ -46,6 +74,20 @@ void FaultyPowerInterface::set_cap(int unit, Watts cap) {
     return;
   }
   inner_.set_cap(unit, cap);
+}
+
+void FaultyPowerInterface::set_cap_batch(std::span<const Watts> caps) {
+  const std::size_t n = last_good_.size();
+  if (caps.size() != n) {
+    throw std::invalid_argument("set_cap_batch: span size mismatch");
+  }
+  if (!injector_.any_active()) {
+    inner_.set_cap_batch(caps);
+    return;
+  }
+  for (std::size_t u = 0; u < n; ++u) {
+    set_cap(static_cast<int>(u), caps[u]);
+  }
 }
 
 }  // namespace dps

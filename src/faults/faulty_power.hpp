@@ -36,6 +36,13 @@ class FaultyPowerInterface final : public PowerInterface {
   Watts cap(int unit) const override { return inner_.cap(unit); }
   Watts tdp() const override { return inner_.tdp(); }
   Watts min_cap() const override { return inner_.min_cap(); }
+  /// Batched overrides. With no fault active (the common case) they
+  /// delegate straight to the inner interface's batch path and apply only
+  /// the NaN/negative guard; with any fault active they fall back to the
+  /// exact per-unit fault logic. Either way the read values, RNG draws,
+  /// and drop bookkeeping are bit-identical to per-unit calls.
+  void read_power_batch(std::span<Watts> out) override;
+  void set_cap_batch(std::span<const Watts> caps) override;
 
   /// set_cap requests swallowed by active faults so far (telemetry for
   /// tests and the resilience report).

@@ -84,8 +84,7 @@ void MimdController::decide(std::span<const Watts> power,
   // caps from energy counters accumulated over its balance window, not
   // from instantaneous samples).
   for (std::size_t u = 0; u < n; ++u) {
-    power_windows_[u].push(power[u]);
-    averaged_power_[u] = power_windows_[u].mean();
+    averaged_power_[u] = power_windows_[u].push_mean(power[u]);
   }
 
   // Coarse rebalance cadence (SLURM's balance_interval): off-cycle calls

@@ -1,6 +1,8 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
+#include <stdexcept>
 
 namespace dps {
 
@@ -40,6 +42,36 @@ class PowerInterface {
   /// Lowest cap the hardware will honour (RAPL refuses caps below the
   /// minimum operating power).
   virtual Watts min_cap() const = 0;
+
+  // --- Batched telemetry (the engine's hot path) ---
+  //
+  // Contract: each batch call is exactly equivalent to the per-unit loop
+  // of its default implementation — same values, same side effects, in
+  // ascending unit order. Implementations that keep per-unit state in
+  // contiguous arrays override these with tight single passes; anything
+  // stateful (measurement-noise RNG streams, fault draws, observability
+  // counters) MUST consume in the same order the default loop would, so
+  // batch and per-unit paths stay bit-identical.
+
+  /// Reads every unit's power into `out` (size must be num_units()), unit
+  /// 0 first. Equivalent to calling read_power(u) for u = 0..n-1.
+  virtual void read_power_batch(std::span<Watts> out) {
+    const int n = num_units();
+    if (out.size() != static_cast<std::size_t>(n)) {
+      throw std::invalid_argument("read_power_batch: span size mismatch");
+    }
+    for (int u = 0; u < n; ++u) out[static_cast<std::size_t>(u)] = read_power(u);
+  }
+
+  /// Requests a new cap for every unit (size must be num_units()), unit 0
+  /// first. Equivalent to calling set_cap(u, caps[u]) for u = 0..n-1.
+  virtual void set_cap_batch(std::span<const Watts> caps) {
+    const int n = num_units();
+    if (caps.size() != static_cast<std::size_t>(n)) {
+      throw std::invalid_argument("set_cap_batch: span size mismatch");
+    }
+    for (int u = 0; u < n; ++u) set_cap(u, caps[static_cast<std::size_t>(u)]);
+  }
 };
 
 }  // namespace dps

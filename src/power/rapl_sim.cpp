@@ -28,6 +28,21 @@ void SimulatedRapl::record(int unit, Watts true_power, Seconds dt) {
   u.window_elapsed += dt;
 }
 
+void SimulatedRapl::record_batch(std::span<const Watts> true_power,
+                                 Seconds dt) {
+  if (true_power.size() != units_.size()) {
+    throw std::invalid_argument("record_batch: span size mismatch");
+  }
+  for (std::size_t i = 0; i < units_.size(); ++i) {
+    auto& u = units_[i];
+    const Joules joules = std::max(0.0, true_power[i]) * dt;
+    // Same quantization as record(): joules / energy_unit, truncated.
+    u.energy_units +=
+        static_cast<std::uint64_t>(joules / config_.energy_unit);
+    u.window_elapsed += dt;
+  }
+}
+
 void SimulatedRapl::advance_step() {
   for (auto& u : units_) {
     if (!u.pending_caps.empty()) {
@@ -55,9 +70,7 @@ void SimulatedRapl::set_obs(const obs::ObsSink& sink) {
       "rapl_cap_changes_total", "set_cap calls that moved the requested cap");
 }
 
-Watts SimulatedRapl::read_power(int unit) {
-  auto& u = units_.at(static_cast<std::size_t>(unit));
-  if (obs_reads_ != nullptr) obs_reads_->add();
+Watts SimulatedRapl::read_power_unit(UnitState& u) {
   if (u.window_elapsed <= 0.0) return u.last_power_reading;
 
   // Delta of the wrapped 32-bit counter; unsigned arithmetic handles one
@@ -78,8 +91,24 @@ Watts SimulatedRapl::read_power(int unit) {
   return power;
 }
 
-void SimulatedRapl::set_cap(int unit, Watts cap) {
-  auto& u = units_.at(static_cast<std::size_t>(unit));
+Watts SimulatedRapl::read_power(int unit) {
+  if (obs_reads_ != nullptr) obs_reads_->add();
+  return read_power_unit(units_.at(static_cast<std::size_t>(unit)));
+}
+
+void SimulatedRapl::read_power_batch(std::span<Watts> out) {
+  if (out.size() != units_.size()) {
+    throw std::invalid_argument("read_power_batch: span size mismatch");
+  }
+  if (obs_reads_ != nullptr) obs_reads_->add(units_.size());
+  // Ascending unit order: the shared noise stream draws in exactly the
+  // order the per-unit loop would.
+  for (std::size_t i = 0; i < units_.size(); ++i) {
+    out[i] = read_power_unit(units_[i]);
+  }
+}
+
+void SimulatedRapl::set_cap_unit(UnitState& u, Watts cap) {
   const Watts clamped = std::clamp(cap, config_.min_cap, config_.tdp);
   if (obs_cap_requests_ != nullptr) {
     obs_cap_requests_->add();
@@ -96,6 +125,28 @@ void SimulatedRapl::set_cap(int unit, Watts cap) {
       static_cast<std::size_t>(config_.actuation_delay_steps),
       u.pending_caps.empty() ? u.effective_cap : u.pending_caps.back());
   u.pending_caps.back() = clamped;
+}
+
+void SimulatedRapl::set_cap(int unit, Watts cap) {
+  set_cap_unit(units_.at(static_cast<std::size_t>(unit)), cap);
+}
+
+void SimulatedRapl::set_cap_batch(std::span<const Watts> caps) {
+  if (caps.size() != units_.size()) {
+    throw std::invalid_argument("set_cap_batch: span size mismatch");
+  }
+  for (std::size_t i = 0; i < units_.size(); ++i) {
+    set_cap_unit(units_[i], caps[i]);
+  }
+}
+
+void SimulatedRapl::effective_caps_batch(std::span<Watts> out) const {
+  if (out.size() != units_.size()) {
+    throw std::invalid_argument("effective_caps_batch: span size mismatch");
+  }
+  for (std::size_t i = 0; i < units_.size(); ++i) {
+    out[i] = units_[i].effective_cap;
+  }
 }
 
 Watts SimulatedRapl::cap(int unit) const {

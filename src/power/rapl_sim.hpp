@@ -48,11 +48,19 @@ class SimulatedRapl final : public PowerInterface {
   /// units are recorded).
   void record(int unit, Watts true_power, Seconds dt);
 
+  /// Batched record: one pass over all units (size must be num_units()),
+  /// equivalent to record(u, true_power[u], dt) for u = 0..n-1.
+  void record_batch(std::span<const Watts> true_power, Seconds dt);
+
   /// Advances the cap actuation pipeline one decision step.
   void advance_step();
 
   /// The cap the hardware is currently enforcing (after actuation delay).
   Watts effective_cap(int unit) const;
+
+  /// Batched effective caps: fills `out` (size must be num_units()) with
+  /// effective_cap(u) for u = 0..n-1 in one pass.
+  void effective_caps_batch(std::span<Watts> out) const;
 
   /// Raw wrapped counter value, in energy units, as software would read
   /// from MSR_PKG_ENERGY_STATUS. Exposed for tests.
@@ -70,8 +78,16 @@ class SimulatedRapl final : public PowerInterface {
   Watts cap(int unit) const override;
   Watts tdp() const override { return config_.tdp; }
   Watts min_cap() const override { return config_.min_cap; }
+  // Tight single-pass overrides; bit-identical to the default per-unit
+  // loops (same noise-draw and counter order).
+  void read_power_batch(std::span<Watts> out) override;
+  void set_cap_batch(std::span<const Watts> caps) override;
 
  private:
+  struct UnitState;
+  Watts read_power_unit(UnitState& u);
+  void set_cap_unit(UnitState& u, Watts cap);
+
   struct UnitState {
     std::uint64_t energy_units = 0;  // unwrapped accumulator, in energy units
     std::uint32_t last_read_counter = 0;

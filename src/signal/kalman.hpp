@@ -1,5 +1,9 @@
 #pragma once
 
+#include <cstddef>
+#include <span>
+#include <vector>
+
 #include "util/bytes.hpp"
 
 namespace dps {
@@ -51,6 +55,51 @@ class Kalman1D {
   double p_;
   double k_ = 0.0;
   double initial_variance_;
+};
+
+/// Structure-of-arrays bank of independent Kalman1D filters sharing one
+/// (Q, R) configuration — the per-unit filters of the estimated power
+/// history laid out as four contiguous arrays so the per-step
+/// predict/update pass streams over flat memory instead of an array of
+/// filter objects. The arithmetic (and therefore every estimate) and the
+/// checkpoint byte stream are exactly those of a std::vector<Kalman1D>
+/// updated and saved in ascending index order.
+class KalmanBank {
+ public:
+  KalmanBank(double process_variance, double measurement_variance);
+
+  /// (Re-)sizes to `n` fresh filters (x = initial_estimate,
+  /// P = initial_variance, K = 0).
+  void reset(std::size_t n, double initial_estimate = 0.0,
+             double initial_variance = 1e6);
+
+  /// Re-seeds every filter at the given estimates (P = initial_variance,
+  /// K = 0) — the power history uses this to start each filter at its
+  /// first reading instead of converging from zero.
+  void seed(std::span<const double> estimates, double initial_variance);
+
+  /// One predict + update cycle for every filter, ascending index order.
+  void update(std::span<const double> measurements);
+
+  std::size_t size() const { return x_.size(); }
+  double estimate(std::size_t i) const { return x_[i]; }
+  /// All posterior estimates, contiguous, indexed by filter.
+  const std::vector<double>& estimates() const { return x_; }
+  double variance(std::size_t i) const { return p_[i]; }
+  double last_gain(std::size_t i) const { return k_[i]; }
+
+  /// Checkpoint support, byte-compatible with a vector<Kalman1D> saved
+  /// filter-by-filter: per filter [x, P, K, initial_variance] as f64s.
+  void save(ByteWriter& out) const;
+  void load(ByteReader& in);
+
+ private:
+  double q_;
+  double r_;
+  std::vector<double> x_;
+  std::vector<double> p_;
+  std::vector<double> k_;
+  std::vector<double> initial_variance_;
 };
 
 }  // namespace dps

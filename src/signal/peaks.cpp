@@ -1,6 +1,8 @@
 #include "signal/peaks.hpp"
 
 #include <algorithm>
+#include <bit>
+#include <cstdint>
 #include <limits>
 
 namespace dps {
@@ -46,12 +48,101 @@ std::vector<Peak> find_prominent_peaks(std::span<const double> series) {
 }
 
 std::size_t count_prominent_peaks(std::span<const double> series,
-                                  double min_prominence) {
-  const auto peaks = find_prominent_peaks(series);
-  return static_cast<std::size_t>(
-      std::count_if(peaks.begin(), peaks.end(), [&](const Peak& p) {
-        return p.prominence > min_prominence;
-      }));
+                                  double min_prominence, std::size_t limit) {
+  // Same peak/prominence definitions as find_prominent_peaks, fused into
+  // one allocation-free pass: this runs once per unit per decision step in
+  // the priority module, so it must not touch the heap.
+  //
+  // The qualification test short-circuits: prominence exceeds the bar iff
+  // BOTH side bases do (max(l, r) small enough), and a side's base does iff
+  // any sample before that side's strictly-higher stop does — FP
+  // subtraction is monotonic, so testing samples as they stream is exactly
+  // the min-then-subtract of find_prominent_peaks.
+  const std::size_t n = series.size();
+  if (n < 3 || limit == 0) return 0;
+
+  std::size_t count = 0;
+
+  // Fast path for plateau-free windows that fit a 64-bit relation mask
+  // (the priority module's default window is 20 samples, and exact FP
+  // equality between consecutive Kalman estimates is rare): one branchless
+  // pass classifies every adjacent pair, then only actual peaks — up
+  // relation immediately followed by down — are visited via bit scanning.
+  // "up" is !(next <= prev), not (next > prev), so windows containing NaN
+  // readings take exactly the branches of the scalar walk below.
+  if (n - 1 <= 64) {
+    std::uint64_t up = 0;
+    std::uint64_t eq = 0;
+    for (std::size_t r = 0; r + 1 < n; ++r) {
+      up |= static_cast<std::uint64_t>(!(series[r + 1] <= series[r])) << r;
+      eq |= static_cast<std::uint64_t>(series[r + 1] == series[r]) << r;
+    }
+    if (eq == 0) {
+      const std::uint64_t rel_mask =
+          n - 1 == 64 ? ~0ULL : (1ULL << (n - 1)) - 1;
+      const std::uint64_t down = ~up & rel_mask;
+      std::uint64_t peaks = up & (down >> 1);
+      while (peaks != 0) {
+        const std::size_t index =
+            static_cast<std::size_t>(std::countr_zero(peaks)) + 1;
+        peaks &= peaks - 1;
+        const double value = series[index];
+        bool left_ok = false;
+        for (std::size_t k = index; k-- > 0;) {
+          if (series[k] > value) break;
+          if (value - series[k] > min_prominence) {
+            left_ok = true;
+            break;
+          }
+        }
+        if (left_ok) {
+          for (std::size_t k = index + 1; k < n; ++k) {
+            if (series[k] > value) break;
+            if (value - series[k] > min_prominence) {
+              if (++count >= limit) return count;
+              break;
+            }
+          }
+        }
+      }
+      return count;
+    }
+    // A plateau exists: fall through to the scalar walk, which carries the
+    // plateau-middle peak index semantics.
+  }
+
+  std::size_t i = 1;
+  while (i < n - 1) {
+    if (series[i] <= series[i - 1]) {
+      ++i;
+      continue;
+    }
+    std::size_t j = i;
+    while (j < n - 1 && series[j + 1] == series[i]) ++j;
+    if (j < n - 1 && series[j + 1] < series[i]) {
+      const std::size_t index = (i + j) / 2;
+      const double value = series[i];
+      bool left_ok = false;
+      for (std::size_t k = index; k-- > 0;) {
+        if (series[k] > value) break;
+        if (value - series[k] > min_prominence) {
+          left_ok = true;
+          break;
+        }
+      }
+      if (left_ok) {
+        for (std::size_t k = index + 1; k < n; ++k) {
+          if (series[k] > value) break;
+          if (value - series[k] > min_prominence) {
+            if (++count >= limit) return count;
+            break;
+          }
+        }
+      }
+    }
+    i = j + 1;
+  }
+  return count;
 }
 
 }  // namespace dps

@@ -25,7 +25,13 @@ std::vector<Peak> find_prominent_peaks(std::span<const double> series);
 
 /// Counts peaks whose prominence strictly exceeds `min_prominence`. This is
 /// Algorithm 2's count_prominent_peaks(power_history, threshold).
-std::size_t count_prominent_peaks(std::span<const double> series,
-                                  double min_prominence);
+///
+/// `limit` caps the count: once reached, the scan stops and `limit` is
+/// returned. Callers that only compare the count against a threshold (the
+/// priority module's hysteresis) pass threshold + 1 — every comparison
+/// outcome is unchanged and the common high-frequency window exits early.
+std::size_t count_prominent_peaks(
+    std::span<const double> series, double min_prominence,
+    std::size_t limit = static_cast<std::size_t>(-1));
 
 }  // namespace dps

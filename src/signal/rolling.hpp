@@ -20,6 +20,13 @@ class RollingWindow {
   /// Appends a sample, evicting the oldest if full.
   void push(double value);
 
+  /// push(value) followed by mean(), fused into a single traversal (the
+  /// eviction shift accumulates the sum as it moves samples). Summation
+  /// order is exactly mean()'s over the new contents, so the result is
+  /// bit-identical. The stateless module calls this once per unit per
+  /// step, where the separate push-then-rescan was a measurable cost.
+  double push_mean(double value);
+
   std::size_t size() const { return data_.size(); }
   std::size_t capacity() const { return capacity_; }
   bool full() const { return data_.size() == capacity_; }

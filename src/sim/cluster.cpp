@@ -5,25 +5,41 @@
 
 namespace dps {
 
+void Cluster::resize_units(std::size_t n) {
+  unit_instance_.assign(n, WorkloadInstance::idle(1.0));
+  unit_group_.assign(n, 0);
+  unit_job_slot_.assign(n, -1);
+  unit_progress_.assign(n, 0.0);
+  unit_hint_.assign(n, 0);
+  unit_energy_.assign(n, 0.0);
+  unit_last_power_.assign(n, 0.0);
+  unit_done_.assign(n, 0);
+  unit_crashed_.assign(n, 0);
+}
+
 Cluster::Cluster(std::vector<GroupSpec> groups, const PerfModel& model)
     : model_(model) {
   if (groups.empty()) {
     throw std::invalid_argument("Cluster: need at least one group");
   }
+  std::size_t total = 0;
   for (const auto& gspec : groups) {
     if (gspec.sockets <= 0) {
       throw std::invalid_argument("Cluster: group needs sockets > 0");
     }
+    total += static_cast<std::size_t>(gspec.sockets);
+  }
+  resize_units(total);
+  std::size_t next_unit = 0;
+  for (const auto& gspec : groups) {
     GroupState group;
     group.spec = gspec.workload;
     group.rotation = gspec.rotation;
-    group.first_unit = static_cast<int>(units_.size());
+    group.first_unit = static_cast<int>(next_unit);
     group.sockets = gspec.sockets;
     group.seed = gspec.seed;
     for (int s = 0; s < gspec.sockets; ++s) {
-      UnitState unit;
-      unit.group = static_cast<int>(groups_.size());
-      units_.push_back(unit);
+      unit_group_[next_unit++] = static_cast<int>(groups_.size());
     }
     groups_.push_back(std::move(group));
     start_new_run(groups_.back());
@@ -35,10 +51,10 @@ Cluster::Cluster(int total_units, const PerfModel& model)
   if (total_units <= 0) {
     throw std::invalid_argument("Cluster: need total_units > 0");
   }
-  units_.resize(static_cast<std::size_t>(total_units));
-  for (auto& unit : units_) {
-    unit.group = -1;
-    unit.done = true;  // idle until a job binds the unit
+  resize_units(static_cast<std::size_t>(total_units));
+  for (std::size_t u = 0; u < unit_group_.size(); ++u) {
+    unit_group_[u] = -1;
+    unit_done_[u] = 1;  // idle until a job binds the unit
   }
 }
 
@@ -55,18 +71,18 @@ int Cluster::start_job(const WorkloadSpec& spec, std::span<const int> units,
   job.active = true;
   job.units.assign(units.begin(), units.end());
   for (std::size_t i = 0; i < job.units.size(); ++i) {
-    auto& unit = units_.at(static_cast<std::size_t>(job.units[i]));
-    if (unit.job_slot >= 0) {
+    const auto u = static_cast<std::size_t>(job.units[i]);
+    if (unit_job_slot_.at(u) >= 0) {
       throw std::invalid_argument("Cluster::start_job: unit already bound");
     }
-    unit.job_slot = slot;
-    unit.progress = 0.0;
-    unit.segment_hint = 0;
-    unit.done = false;
+    unit_job_slot_[u] = slot;
+    unit_progress_[u] = 0.0;
+    unit_hint_[u] = 0;
+    unit_done_[u] = 0;
     // Realizations are keyed by position within the allocation, so a
     // job's jitter draw does not depend on which physical units the
     // placement handed it.
-    unit.instance =
+    unit_instance_[u] =
         WorkloadInstance(spec, mix_seed(seed, static_cast<std::uint64_t>(i)));
   }
   jobs_.push_back(std::move(job));
@@ -78,11 +94,11 @@ void Cluster::abort_job(int slot) {
   if (!job.active) return;
   job.active = false;
   for (const int u : job.units) {
-    auto& unit = units_.at(static_cast<std::size_t>(u));
-    if (unit.job_slot != slot) continue;
-    unit.job_slot = -1;
-    unit.done = true;
-    unit.instance = WorkloadInstance::idle(1.0);
+    const auto su = static_cast<std::size_t>(u);
+    if (unit_job_slot_.at(su) != slot) continue;
+    unit_job_slot_[su] = -1;
+    unit_done_[su] = 1;
+    unit_instance_[su] = WorkloadInstance::idle(1.0);
   }
 }
 
@@ -94,33 +110,36 @@ std::vector<int> Cluster::drain_finished_jobs() {
 
 int Cluster::busy_units() const {
   int busy = 0;
-  for (const auto& unit : units_) {
-    if (unit.job_slot >= 0) ++busy;
+  for (const int slot : unit_job_slot_) {
+    if (slot >= 0) ++busy;
   }
   return busy;
 }
 
 void Cluster::step_jobs(Seconds dt, std::span<const Watts> effective_caps,
                         std::span<Watts> true_power_out) {
-  for (std::size_t u = 0; u < units_.size(); ++u) {
-    auto& unit = units_[u];
-    if (unit.crashed) {
-      unit.last_power = 0.0;
+  const std::size_t n = unit_group_.size();
+  for (std::size_t u = 0; u < n; ++u) {
+    if (unit_crashed_[u]) {
+      unit_last_power_[u] = 0.0;
       true_power_out[u] = 0.0;
       continue;
     }
     Watts demand = kIdlePower;
-    if (unit.job_slot >= 0 && !unit.done) {
-      demand = unit.instance.demand_at(unit.progress, &unit.segment_hint);
+    const bool running = unit_job_slot_[u] >= 0 && !unit_done_[u];
+    if (running) {
+      demand = unit_instance_[u].demand_at(unit_progress_[u], &unit_hint_[u]);
       const double speed = model_.speed(demand, effective_caps[u]);
-      unit.progress += speed * dt;
-      if (unit.progress >= unit.instance.total_work()) unit.done = true;
+      unit_progress_[u] += speed * dt;
+      if (unit_progress_[u] >= unit_instance_[u].total_work()) {
+        unit_done_[u] = 1;
+      }
     }
-    const Watts drawn = unit.job_slot >= 0 && !unit.done
+    const Watts drawn = unit_job_slot_[u] >= 0 && !unit_done_[u]
                             ? model_.power_drawn(demand, effective_caps[u])
                             : kIdlePower;
-    unit.last_power = drawn;
-    unit.energy += drawn * dt;
+    unit_last_power_[u] = drawn;
+    unit_energy_[u] += drawn * dt;
     true_power_out[u] = drawn;
   }
 
@@ -133,8 +152,8 @@ void Cluster::step_jobs(Seconds dt, std::span<const Watts> effective_caps,
     if (!job.active) continue;
     bool all_done = true;
     for (const int u : job.units) {
-      const auto& unit = units_[static_cast<std::size_t>(u)];
-      if (unit.crashed || !unit.done) {
+      const auto su = static_cast<std::size_t>(u);
+      if (unit_crashed_[su] || !unit_done_[su]) {
         all_done = false;
         break;
       }
@@ -142,10 +161,10 @@ void Cluster::step_jobs(Seconds dt, std::span<const Watts> effective_caps,
     if (!all_done) continue;
     job.active = false;
     for (const int u : job.units) {
-      auto& unit = units_[static_cast<std::size_t>(u)];
-      unit.job_slot = -1;
-      unit.instance = WorkloadInstance::idle(1.0);
-      unit.done = true;
+      const auto su = static_cast<std::size_t>(u);
+      unit_job_slot_[su] = -1;
+      unit_instance_[su] = WorkloadInstance::idle(1.0);
+      unit_done_[su] = 1;
     }
     finished_slots_.push_back(static_cast<int>(slot));
     ++jobs_completed_;
@@ -165,31 +184,31 @@ void Cluster::start_new_run(GroupState& group) {
   group.in_gap = false;
   ++group.run_index;
   for (int s = 0; s < group.sockets; ++s) {
-    auto& unit = units_[group.first_unit + s];
-    unit.progress = 0.0;
-    unit.segment_hint = 0;
-    unit.done = false;
+    const auto u = static_cast<std::size_t>(group.first_unit + s);
+    unit_progress_[u] = 0.0;
+    unit_hint_[u] = 0;
+    unit_done_[u] = 0;
     if (s < active) {
       // Each realization draws from its own RNG stream keyed by stable
       // coordinates, so the same engine seed yields bit-identical jitter
       // no matter what else (other groups, scheduled jobs) was
       // instantiated before it.
-      unit.instance = WorkloadInstance(
+      unit_instance_[u] = WorkloadInstance(
           spec, mix_seed(group.seed, static_cast<std::uint64_t>(group.run_index),
                          static_cast<std::uint64_t>(s)));
     } else {
       // Inactive sockets idle for the nominal duration; completion is
       // governed by the active sockets only.
-      unit.instance = WorkloadInstance::idle(spec.nominal_duration());
-      unit.done = true;
+      unit_instance_[u] = WorkloadInstance::idle(spec.nominal_duration());
+      unit_done_[u] = 1;
     }
   }
 }
 
 void Cluster::step(Seconds dt, std::span<const Watts> effective_caps,
                    std::span<Watts> true_power_out) {
-  if (effective_caps.size() != units_.size() ||
-      true_power_out.size() != units_.size()) {
+  const std::size_t n = unit_group_.size();
+  if (effective_caps.size() != n || true_power_out.size() != n) {
     throw std::invalid_argument("Cluster::step: span size mismatch");
   }
   if (job_mode_) {
@@ -197,31 +216,52 @@ void Cluster::step(Seconds dt, std::span<const Watts> effective_caps,
     return;
   }
 
-  for (std::size_t u = 0; u < units_.size(); ++u) {
-    auto& unit = units_[u];
-    auto& group = groups_[unit.group];
-
-    if (unit.crashed) {
-      // Dark node: no draw, no progress; the group's run stalls on it
-      // until the restart.
-      unit.last_power = 0.0;
-      true_power_out[u] = 0.0;
+  // Groups own contiguous unit ranges, so walking group-by-group visits
+  // units in ascending order (identical accumulation order to a flat
+  // per-unit walk) while hoisting the per-group branches out of the
+  // inner pass.
+  for (auto& group : groups_) {
+    const std::size_t begin = static_cast<std::size_t>(group.first_unit);
+    const std::size_t end = begin + static_cast<std::size_t>(group.sockets);
+    if (group.in_gap) {
+      for (std::size_t u = begin; u < end; ++u) {
+        if (unit_crashed_[u]) {
+          unit_last_power_[u] = 0.0;
+          true_power_out[u] = 0.0;
+          continue;
+        }
+        unit_last_power_[u] = kIdlePower;
+        unit_energy_[u] += kIdlePower * dt;
+        true_power_out[u] = kIdlePower;
+      }
       continue;
     }
-    Watts demand = kIdlePower;
-    if (!group.in_gap && !unit.done) {
-      demand = unit.instance.demand_at(unit.progress, &unit.segment_hint);
-      const double speed = model_.speed(demand, effective_caps[u]);
-      unit.progress += speed * dt;
-      if (unit.progress >= unit.instance.total_work()) unit.done = true;
+    for (std::size_t u = begin; u < end; ++u) {
+      if (unit_crashed_[u]) {
+        // Dark node: no draw, no progress; the group's run stalls on it
+        // until the restart.
+        unit_last_power_[u] = 0.0;
+        true_power_out[u] = 0.0;
+        continue;
+      }
+      Watts demand = kIdlePower;
+      if (!unit_done_[u]) {
+        demand =
+            unit_instance_[u].demand_at(unit_progress_[u], &unit_hint_[u]);
+        const double speed = model_.speed(demand, effective_caps[u]);
+        unit_progress_[u] += speed * dt;
+        if (unit_progress_[u] >= unit_instance_[u].total_work()) {
+          unit_done_[u] = 1;
+        }
+      }
+      const Watts drawn = unit_done_[u]
+                              ? kIdlePower
+                              : model_.power_drawn(demand, effective_caps[u]);
+      unit_last_power_[u] = drawn;
+      unit_energy_[u] += drawn * dt;
+      true_power_out[u] = drawn;
+      group.active_energy += drawn * dt;
     }
-    const Watts drawn = group.in_gap || unit.done
-                            ? kIdlePower
-                            : model_.power_drawn(demand, effective_caps[u]);
-    unit.last_power = drawn;
-    unit.energy += drawn * dt;
-    true_power_out[u] = drawn;
-    if (!group.in_gap) group.active_energy += drawn * dt;
   }
 
   for (auto& group : groups_) {
@@ -239,9 +279,10 @@ void Cluster::step(Seconds dt, std::span<const Watts> effective_caps,
       continue;
     }
     bool all_done = true;
-    for (int s = 0; s < group.sockets; ++s) {
-      const auto& unit = units_[group.first_unit + s];
-      if (unit.instance.active() && !unit.done) {
+    const std::size_t begin = static_cast<std::size_t>(group.first_unit);
+    const std::size_t end = begin + static_cast<std::size_t>(group.sockets);
+    for (std::size_t u = begin; u < end; ++u) {
+      if (unit_instance_[u].active() && !unit_done_[u]) {
         all_done = false;
         break;
       }
@@ -256,24 +297,25 @@ void Cluster::step(Seconds dt, std::span<const Watts> effective_caps,
 }
 
 void Cluster::true_demands(std::span<Watts> out) const {
-  if (out.size() != units_.size()) {
+  const std::size_t n = unit_group_.size();
+  if (out.size() != n) {
     throw std::invalid_argument("Cluster::true_demands: span size mismatch");
   }
-  for (std::size_t u = 0; u < units_.size(); ++u) {
-    const auto& unit = units_[u];
-    if (unit.crashed) {
+  for (std::size_t u = 0; u < n; ++u) {
+    if (unit_crashed_[u]) {
       out[u] = 0.0;
       continue;
     }
     if (job_mode_) {
-      out[u] = unit.job_slot >= 0 && !unit.done
-                   ? unit.instance.demand_at(unit.progress)
+      out[u] = unit_job_slot_[u] >= 0 && !unit_done_[u]
+                   ? unit_instance_[u].demand_at(unit_progress_[u])
                    : kIdlePower;
       continue;
     }
-    const auto& group = groups_[unit.group];
-    out[u] = group.in_gap || unit.done ? kIdlePower
-                                       : unit.instance.demand_at(unit.progress);
+    const auto& group = groups_[static_cast<std::size_t>(unit_group_[u])];
+    out[u] = group.in_gap || unit_done_[u]
+                 ? kIdlePower
+                 : unit_instance_[u].demand_at(unit_progress_[u]);
   }
 }
 
@@ -292,7 +334,7 @@ int Cluster::min_completions() const {
 
 Watts Cluster::mean_true_power(int u) const {
   if (now_ <= 0.0) return 0.0;
-  return units_.at(u).energy / now_;
+  return unit_energy_.at(static_cast<std::size_t>(u)) / now_;
 }
 
 Watts Cluster::group_mean_power(int g) const {

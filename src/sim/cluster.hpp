@@ -63,7 +63,7 @@ class Cluster : public sched::JobHost {
   /// groups. Drive it via the JobHost interface.
   explicit Cluster(int total_units, const PerfModel& model = PerfModel());
 
-  int total_units() const { return static_cast<int>(units_.size()); }
+  int total_units() const { return static_cast<int>(unit_group_.size()); }
   int num_groups() const { return static_cast<int>(groups_.size()); }
 
   /// Advances the whole system by `dt`, writing each unit's true power draw
@@ -89,7 +89,7 @@ class Cluster : public sched::JobHost {
   void abort_job(int slot) override;
   std::vector<int> drain_finished_jobs() override;
   bool unit_crashed(int unit) const override {
-    return units_.at(static_cast<std::size_t>(unit)).crashed;
+    return unit_crashed_.at(static_cast<std::size_t>(unit)) != 0;
   }
 
   bool job_mode() const { return job_mode_; }
@@ -100,17 +100,19 @@ class Cluster : public sched::JobHost {
   Seconds now() const { return now_; }
 
   /// Group index that unit `u` belongs to.
-  int group_of(int u) const { return units_.at(u).group; }
+  int group_of(int u) const {
+    return unit_group_.at(static_cast<std::size_t>(u));
+  }
 
   /// Marks unit `u` crashed / restored (driven by the fault injector). A
   /// crashed unit draws no power and makes no progress; its group's run
   /// stalls on it until the restart (a warm restart: work resumes where it
   /// stopped, as with checkpointed Spark stages / MPI ranks).
   void set_crashed(int u, bool crashed) {
-    units_.at(static_cast<std::size_t>(u)).crashed = crashed;
+    unit_crashed_.at(static_cast<std::size_t>(u)) = crashed ? 1 : 0;
   }
   bool crashed(int u) const {
-    return units_.at(static_cast<std::size_t>(u)).crashed;
+    return unit_crashed_.at(static_cast<std::size_t>(u)) != 0;
   }
 
   /// Average true power of unit `u` over the whole simulation (energy /
@@ -124,18 +126,6 @@ class Cluster : public sched::JobHost {
   const WorkloadSpec& group_workload(int g) const;
 
  private:
-  struct UnitState {
-    int group = 0;  // -1 in job mode
-    WorkloadInstance instance = WorkloadInstance::idle(1.0);
-    Seconds progress = 0.0;
-    std::size_t segment_hint = 0;  // amortizes demand lookups
-    bool done = false;  // finished its instance, waiting for the group
-    bool crashed = false;  // fault-injected: dark, frozen until restart
-    int job_slot = -1;  // job mode: slot of the bound job, -1 = idle
-    Joules energy = 0.0;
-    Watts last_power = 0.0;
-  };
-
   struct JobState {
     std::vector<int> units;
     bool active = false;
@@ -167,9 +157,25 @@ class Cluster : public sched::JobHost {
   void start_new_run(GroupState& group);
   void step_jobs(Seconds dt, std::span<const Watts> effective_caps,
                  std::span<Watts> true_power_out);
+  void resize_units(std::size_t n);
 
   std::vector<GroupState> groups_;
-  std::vector<UnitState> units_;
+
+  // Per-unit state as parallel structure-of-arrays vectors (index = unit).
+  // The step loop is the simulator's hottest path; keeping each mutable
+  // field contiguous turns it into branch-light single passes instead of
+  // strided walks over a fat struct. The realized workload stays an
+  // immutable, indexed WorkloadInstance.
+  std::vector<WorkloadInstance> unit_instance_;
+  std::vector<int> unit_group_;             // -1 in job mode
+  std::vector<int> unit_job_slot_;          // job mode: bound slot, -1 = idle
+  std::vector<Seconds> unit_progress_;
+  std::vector<std::size_t> unit_hint_;      // amortizes demand lookups
+  std::vector<Joules> unit_energy_;
+  std::vector<Watts> unit_last_power_;
+  std::vector<std::uint8_t> unit_done_;     // finished, waiting for the group
+  std::vector<std::uint8_t> unit_crashed_;  // dark, frozen until restart
+
   PerfModel model_;
   Seconds now_ = 0.0;
 

@@ -175,24 +175,24 @@ EngineResult SimulationEngine::run(Cluster& cluster, SimulatedRapl& rapl,
     }
 
     // Advance the system one period under the currently enforced caps.
-    for (int u = 0; u < n; ++u) effective[u] = rapl.effective_cap(u);
-    cluster.true_demands(demands);
+    rapl.effective_caps_batch(effective);
+    // True demands are only consumed by the optional trace artifact; the
+    // scan (a per-unit segment lookup) stays off the hot path otherwise.
+    if (result.trace) cluster.true_demands(demands);
     cluster.step(config_.dt, effective, true_power);
     if (sched_rt) sched_rt->end_tick(cluster, cluster.now(), config_.dt);
-    for (int u = 0; u < n; ++u) rapl.record(u, true_power[u], config_.dt);
+    rapl.record_batch(true_power, config_.dt);
     rapl.advance_step();
     if (thermal) {
-      thermal->step(config_.dt, true_power);
-      Celsius hottest = thermal->temperature(0);
-      for (int u = 1; u < n; ++u) {
-        hottest = std::max(hottest, thermal->temperature(u));
-      }
+      // The model's own pass reports the hottest true temperature, so the
+      // engine does not re-scan every unit.
+      const Celsius hottest = thermal->step(config_.dt, true_power);
       result.peak_temperature_c = std::max(result.peak_temperature_c, hottest);
       if (obs_max_temp != nullptr) obs_max_temp->set(hottest);
     }
 
     // Controller turn: read (possibly faulted) power, decide, actuate.
-    for (int u = 0; u < n; ++u) measured[u] = telemetry.read_power(u);
+    telemetry.read_power_batch(measured);
     {
       obs::ScopedSpan span(obs, obs_decide_seconds, "decide");
       manager.decide(measured, caps);
@@ -210,9 +210,7 @@ EngineResult SimulationEngine::run(Cluster& cluster, SimulatedRapl& rapl,
       governor->apply(*thermal, cluster.now(), config_.dt, caps, applied);
     }
     const std::vector<Watts>& written = governor ? applied : caps;
-    for (int u = 0; u < n; ++u) {
-      telemetry.set_cap(u, written[u]);
-    }
+    telemetry.set_cap_batch(written);
     if (obs.enabled()) {
       for (int u = 0; u < n; ++u) {
         const auto su = static_cast<std::size_t>(u);

@@ -11,6 +11,8 @@ PerfModel::PerfModel(const PerfModelConfig& config) : config_(config) {
       config_.min_freq_ratio <= 0.0 || config_.min_freq_ratio > 1.0) {
     throw std::invalid_argument("PerfModel: invalid configuration");
   }
+  inv_exponent_ = 1.0 / config_.exponent;
+  min_ratio_pow_ = std::pow(config_.min_freq_ratio, config_.exponent);
 }
 
 double PerfModel::speed(Watts demand, Watts cap) const {
@@ -18,8 +20,7 @@ double PerfModel::speed(Watts demand, Watts cap) const {
   const Watts dyn_demand = demand - config_.static_power;
   if (dyn_demand <= 0.0) return 1.0;  // demand is all static: cap is moot
   const Watts dyn_allowed = std::max(0.0, cap - config_.static_power);
-  const double ratio =
-      std::pow(dyn_allowed / dyn_demand, 1.0 / config_.exponent);
+  const double ratio = std::pow(dyn_allowed / dyn_demand, inv_exponent_);
   return std::clamp(ratio, config_.min_freq_ratio, 1.0);
 }
 
@@ -31,8 +32,7 @@ Watts PerfModel::power_drawn(Watts demand, Watts cap) const {
 
 Watts PerfModel::floor_power(Watts demand) const {
   const Watts dyn_demand = std::max(0.0, demand - config_.static_power);
-  return config_.static_power +
-         dyn_demand * std::pow(config_.min_freq_ratio, config_.exponent);
+  return config_.static_power + dyn_demand * min_ratio_pow_;
 }
 
 }  // namespace dps

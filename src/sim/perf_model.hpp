@@ -43,6 +43,11 @@ class PerfModel {
 
  private:
   PerfModelConfig config_;
+  // Hoisted constants for the per-unit-per-step hot path: the same
+  // std::pow the inline expressions would compute, evaluated once at
+  // construction (bit-identical results, no per-call libm work).
+  double inv_exponent_ = 0.5;
+  double min_ratio_pow_ = 0.0;  // min_freq_ratio ^ exponent
 };
 
 }  // namespace dps

@@ -1,6 +1,8 @@
 #include "thermal/thermal_model.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 
 #include "util/rng.hpp"
@@ -51,15 +53,18 @@ ThermalModel::ThermalModel(const ThermalConfig& config, int num_units)
   }
 }
 
-void ThermalModel::step(Seconds dt, const std::vector<Watts>& true_power) {
+Celsius ThermalModel::step(Seconds dt, const std::vector<Watts>& true_power) {
   const auto n = temp_.size();
+  Celsius hottest = std::numeric_limits<Celsius>::lowest();
   for (std::size_t u = 0; u < n; ++u) {
     const Celsius t_ss =
         config_.ambient_c + resistance_[u] * resist_mult_[u] * true_power[u];
     // Exact solution of C dT/dt = (T_ss - T)/R over one period.
     temp_[u] += (1.0 - std::exp(-dt / tau_[u])) * (t_ss - temp_[u]);
     if (stuck_[u] == 0) sensed_[u] = temp_[u];
+    hottest = std::max(hottest, temp_[u]);
   }
+  return hottest;
 }
 
 Celsius ThermalModel::temperature(int unit) const {

@@ -61,7 +61,9 @@ class ThermalModel {
   ThermalModel(const ThermalConfig& config, int num_units);
 
   /// Advances every unit one period under the dissipated true power.
-  void step(Seconds dt, const std::vector<Watts>& true_power);
+  /// Returns the hottest *true* package temperature after the step, so
+  /// the engine's peak tracking rides the same pass.
+  Celsius step(Seconds dt, const std::vector<Watts>& true_power);
 
   /// Physical package temperature of a unit.
   Celsius temperature(int unit) const;
